@@ -1,0 +1,103 @@
+// E8 — Corollary 4.5: dist_sub(S*) <= dist_upd(U*) <= mlc(∆)·dist_sub(S*)
+// for consensus-free ∆. Report: both inequalities verified with exact
+// solvers on randomized instances; the observed U*/S* ratio per FD set
+// against its mlc ceiling.
+
+#include "report_util.h"
+#include "common/random.h"
+#include "srepair/srepair_exact.h"
+#include "storage/distance.h"
+#include "urepair/covers.h"
+#include "urepair/update.h"
+#include "urepair/urepair_common_lhs.h"
+#include "urepair/urepair_exact.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::Num;
+using benchreport::ReportTable;
+
+void Report() {
+  Banner("E8", "Corollary 4.5 — S* <= U* <= mlc · S*");
+  ReportTable table({"FD set", "mlc", "trials", "max U*/S*", "violations"});
+  Rng rng(45);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    FdSet delta = named.parsed.fds.WithoutTrivial();
+    if (!delta.IsConsensusFree() || delta.empty()) continue;
+    if (delta.Attrs().size() > 5) continue;
+    auto mlc = Mlc(delta);
+    FDR_CHECK(mlc.ok());
+    int trials = 0;
+    int violations = 0;
+    double max_ratio = 1.0;
+    for (int trial = 0; trial < 10; ++trial) {
+      RandomTableOptions options;
+      options.num_tuples = 4;
+      options.domain_size = 2;
+      Rng table_rng = rng.Fork();
+      Table t = RandomTable(named.parsed.schema, options, &table_rng);
+      auto subset = OptSRepairExact(delta, t, 64);
+      auto update = OptURepairExact(delta, t);
+      if (!subset.ok() || !update.ok()) continue;
+      double s_star = DistSubOrDie(*subset, t);
+      double u_star = DistUpdOrDie(*update, t);
+      ++trials;
+      if (s_star > u_star + 1e-9 || u_star > *mlc * s_star + 1e-9) {
+        ++violations;
+      }
+      if (s_star > 0) max_ratio = std::max(max_ratio, u_star / s_star);
+    }
+    table.AddRow({named.name, Num(*mlc), Num(trials), Num(max_ratio),
+                  Num(violations)});
+  }
+  table.Print();
+  std::cout << "(Proposition 4.9's instance class {A->B, B->A} should show "
+               "max U*/S* = 1 despite mlc = 2)\n";
+}
+
+// Proposition 4.4's constructions, timed: update -> subset and subset ->
+// update conversions at scale.
+void BM_UpdateToSubset(benchmark::State& state) {
+  ParsedFdSet parsed = OfficeFds();
+  int n = static_cast<int>(state.range(0));
+  Rng rng(71);
+  RandomTableOptions options;
+  options.num_tuples = n;
+  options.domain_size = std::max(4, n / 16);
+  Table table = RandomTable(parsed.schema, options, &rng);
+  Table update = table.Clone();  // identity update
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UpdateToConsistentSubsetRows(table, update));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UpdateToSubset)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubsetToUpdate(benchmark::State& state) {
+  ParsedFdSet parsed = OfficeFds();
+  int n = static_cast<int>(state.range(0));
+  Rng rng(73);
+  RandomTableOptions options;
+  options.num_tuples = n;
+  options.domain_size = std::max(4, n / 16);
+  Table table = RandomTable(parsed.schema, options, &rng);
+  std::vector<int> kept;
+  for (int row = 0; row < n; row += 2) kept.push_back(row);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SubsetToUpdate(parsed.fds.WithoutTrivial(), table, kept));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SubsetToUpdate)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

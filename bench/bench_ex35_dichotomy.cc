@@ -1,0 +1,103 @@
+// E3 — Example 3.5 / Algorithm 2: prints the exact simplification chains of
+// the paper's worked examples and the dichotomy verdict for every named FD
+// set, then times OSRSucceeds to exhibit its polynomial dependence on |∆|.
+
+#include "report_util.h"
+#include "common/random.h"
+#include "srepair/planner.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::ReportTable;
+
+void Report() {
+  Banner("E3", "Example 3.5 simplification chains + dichotomy verdicts");
+
+  for (const auto& [label, parsed] :
+       {std::pair<std::string, ParsedFdSet>{"running example", OfficeFds()},
+        {"∆A<->B->C (eq. 1)", DeltaAKeyBToC()},
+        {"∆1 of Example 3.1", Example31Ssn()},
+        {"{A->B, B->C}", DeltaAtoBtoC()}}) {
+    std::cout << "\n-- " << label << " --\n"
+              << RunOsrSucceeds(parsed.fds).ToString(parsed.schema) << "\n";
+  }
+
+  std::cout << "\n";
+  ReportTable table({"FD set", "∆", "paper verdict", "OSRSucceeds",
+                     "hard class"});
+  // The paper's stated classification for each named set.
+  const std::vector<std::pair<std::string, bool>> expectations = {
+      {"office", true},        {"A<->B->C", true},
+      {"ssn(Ex3.1)", true},    {"A->B->C", false},
+      {"A->C<-B", false},      {"AB->C->B", false},
+      {"AB<->AC<->BC", false}, {"A->B,C->D", false},
+      {"purchase(∆0)", false}, {"email(∆3)", false},
+      {"buyer(∆4)", true},     {"passport(Ex4.7)", true},
+      {"zip(Ex4.7)", false}};
+  int mismatches = 0;
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    SRepairVerdict verdict = ClassifySRepair(named.parsed.fds);
+    std::string paper = "—";
+    for (const auto& [name, poly] : expectations) {
+      if (name == named.name) {
+        paper = poly ? "polynomial" : "APX-complete";
+        if (poly != verdict.polynomial) ++mismatches;
+      }
+    }
+    table.AddRow({named.name, named.parsed.fds.ToString(named.parsed.schema),
+                  paper, verdict.polynomial ? "true" : "false",
+                  verdict.hard_class
+                      ? "class " + std::to_string(verdict.hard_class->fd_class)
+                      : "—"});
+  }
+  table.Print();
+  std::cout << (mismatches == 0 ? "all paper verdicts reproduced\n"
+                                : "MISMATCHES: " + std::to_string(mismatches) +
+                                      "\n");
+}
+
+// A random FD set over k attributes with m FDs (lhs width <= 3).
+FdSet RandomFdSet(int k, int m, Rng* rng) {
+  std::vector<Fd> fds;
+  for (int f = 0; f < m; ++f) {
+    AttrSet lhs;
+    int width = 1 + static_cast<int>(rng->UniformUint64(3));
+    for (int w = 0; w < width; ++w) {
+      lhs = lhs.With(static_cast<AttrId>(rng->UniformUint64(k)));
+    }
+    fds.emplace_back(lhs, static_cast<AttrId>(rng->UniformUint64(k)));
+  }
+  return FdSet::FromFds(fds);
+}
+
+void BM_OsrSucceeds(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int m = static_cast<int>(state.range(1));
+  Rng rng(99);
+  std::vector<FdSet> sets;
+  for (int i = 0; i < 32; ++i) sets.push_back(RandomFdSet(k, m, &rng));
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OsrSucceeds(sets[cursor++ % sets.size()]));
+  }
+}
+BENCHMARK(BM_OsrSucceeds)
+    ->ArgsProduct({{8, 16, 32, 64}, {4, 16, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ClassifyHardClass(benchmark::State& state) {
+  // Full planner classification including the Figure-2 class.
+  ParsedFdSet parsed = Example38Class(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifySRepair(parsed.fds));
+  }
+}
+BENCHMARK(BM_ClassifyHardClass)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

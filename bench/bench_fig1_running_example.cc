@@ -1,0 +1,83 @@
+// E1 — Figure 1 / Examples 2.1–2.3: regenerates every number the paper
+// states about the Office running example, then times the repair planners
+// on it.
+
+#include "report_util.h"
+#include "srepair/planner.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/planner.h"
+#include "workloads/office.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::Num;
+using benchreport::ReportTable;
+
+void Report() {
+  Banner("E1", "Figure 1 running example (Office)");
+  OfficeExample office = MakeOfficeExample();
+  std::cout << "∆ = {" << office.fds.ToString(office.schema) << "}\n"
+            << office.table.ToString();
+
+  ReportTable table({"artifact", "paper", "measured", "consistent"});
+  auto row = [&](const std::string& name, double paper, double measured,
+                 bool consistent) {
+    table.AddRow({name, Num(paper), Num(measured),
+                  consistent ? "yes" : "NO"});
+  };
+  row("dist_sub(S1, T)", 2, DistSubOrDie(office.subset_s1, office.table),
+      Satisfies(office.subset_s1, office.fds));
+  row("dist_sub(S2, T)", 2, DistSubOrDie(office.subset_s2, office.table),
+      Satisfies(office.subset_s2, office.fds));
+  row("dist_sub(S3, T)", 3, DistSubOrDie(office.subset_s3, office.table),
+      Satisfies(office.subset_s3, office.fds));
+  row("dist_upd(U1, T)", 2, DistUpdOrDie(office.update_u1, office.table),
+      Satisfies(office.update_u1, office.fds));
+  row("dist_upd(U2, T)", 3, DistUpdOrDie(office.update_u2, office.table),
+      Satisfies(office.update_u2, office.fds));
+  row("dist_upd(U3, T)", 4, DistUpdOrDie(office.update_u3, office.table),
+      Satisfies(office.update_u3, office.fds));
+
+  auto srepair = ComputeSRepair(office.fds, office.table);
+  auto urepair = ComputeURepair(office.fds, office.table);
+  FDR_CHECK(srepair.ok() && urepair.ok());
+  row("optimal S-repair distance", 2, srepair->distance, true);
+  row("optimal U-repair distance", 2, urepair->distance, true);
+  table.Print();
+  std::cout << "S3 is a " << Num(3.0 / srepair->distance)
+            << "-optimal S-repair (paper: 1.5-optimal)\n";
+}
+
+void BM_OfficeOptSRepair(benchmark::State& state) {
+  OfficeExample office = MakeOfficeExample();
+  for (auto _ : state) {
+    auto result = ComputeSRepair(office.fds, office.table);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OfficeOptSRepair);
+
+void BM_OfficeOptURepair(benchmark::State& state) {
+  OfficeExample office = MakeOfficeExample();
+  for (auto _ : state) {
+    auto result = ComputeURepair(office.fds, office.table);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OfficeOptURepair);
+
+void BM_OfficeConsistencyCheck(benchmark::State& state) {
+  OfficeExample office = MakeOfficeExample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Satisfies(office.table, office.fds));
+  }
+}
+BENCHMARK(BM_OfficeConsistencyCheck);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

@@ -1,0 +1,130 @@
+// E6 — Figure 2 / Example 3.8: the five classes of non-simplifiable FD sets
+// and their fact-wise reductions. Report: Example 3.8's representatives land
+// in classes 1..5, random stuck sets distribute over the classes, and the
+// class reductions preserve pairwise consistency on sampled tuples.
+
+#include "report_util.h"
+#include "common/random.h"
+#include "reductions/factwise.h"
+#include "srepair/osr_succeeds.h"
+#include "storage/consistency.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::Num;
+using benchreport::ReportTable;
+
+FdSet GadgetFdsFor(HardGadget gadget) {
+  switch (gadget) {
+    case HardGadget::kAtoCfromB:
+      return DeltaAtoCfromB().fds;
+    case HardGadget::kAtoBtoC:
+      return DeltaAtoBtoC().fds;
+    case HardGadget::kTriangle:
+      return DeltaTriangle().fds;
+    case HardGadget::kABtoCtoB:
+      return DeltaABtoCtoB().fds;
+  }
+  return FdSet();
+}
+
+void Report() {
+  Banner("E6", "Figure 2 — classes of non-simplifiable FD sets");
+  {
+    ReportTable table({"Example 3.8 set", "∆", "paper class",
+                       "classified as", "gadget"});
+    for (int fd_class = 1; fd_class <= 5; ++fd_class) {
+      ParsedFdSet parsed = Example38Class(fd_class);
+      auto result = ClassifyNonSimplifiable(parsed.fds);
+      FDR_CHECK(result.ok());
+      table.AddRow({"∆" + std::to_string(fd_class),
+                    parsed.fds.ToString(parsed.schema),
+                    Num(fd_class), Num(result->fd_class),
+                    HardGadgetToString(result->gadget)});
+    }
+    table.Print();
+  }
+
+  // Random stuck sets: class distribution + reduction property check.
+  Rng rng(2018);
+  Schema schema = Schema::Anonymous(5);
+  int class_counts[6] = {0, 0, 0, 0, 0, 0};
+  int pairs_checked = 0;
+  int pairs_preserved = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<Fd> fds;
+    int count = 2 + static_cast<int>(rng.UniformUint64(4));
+    for (int f = 0; f < count; ++f) {
+      fds.emplace_back(AttrSet::FromBits(rng.Next() & 0x1f),
+                       static_cast<AttrId>(rng.UniformUint64(5)));
+    }
+    OsrTrace trace = RunOsrSucceeds(FdSet::FromFds(fds));
+    if (trace.succeeds) continue;
+    auto result = ClassifyNonSimplifiable(trace.stuck_fds);
+    FDR_CHECK(result.ok());
+    ++class_counts[result->fd_class];
+    // Spot-check the reduction on random tuple pairs.
+    FdSet source_fds = GadgetFdsFor(result->gadget);
+    for (int sample = 0; sample < 4; ++sample) {
+      auto draw = [&] {
+        return std::vector<std::string>{
+            "x" + std::to_string(rng.UniformUint64(2)),
+            "y" + std::to_string(rng.UniformUint64(2)),
+            "z" + std::to_string(rng.UniformUint64(2))};
+      };
+      std::vector<std::string> t = draw();
+      std::vector<std::string> s = draw();
+      Table source(Schema::Anonymous(3));
+      source.AddTuple(t);
+      source.AddTuple(s);
+      auto mapped_t = MapGadgetTuple(*result, trace.stuck_fds, schema, t[0],
+                                     t[1], t[2]);
+      auto mapped_s = MapGadgetTuple(*result, trace.stuck_fds, schema, s[0],
+                                     s[1], s[2]);
+      FDR_CHECK(mapped_t.ok() && mapped_s.ok());
+      Table mapped(schema);
+      mapped.AddTuple(*mapped_t);
+      mapped.AddTuple(*mapped_s);
+      bool source_ok =
+          PairConsistent(source.tuple(0), source.tuple(1), source_fds);
+      bool mapped_ok =
+          PairConsistent(mapped.tuple(0), mapped.tuple(1), trace.stuck_fds);
+      ++pairs_checked;
+      if (source_ok == mapped_ok) ++pairs_preserved;
+    }
+  }
+  ReportTable histogram({"class", "random stuck sets"});
+  for (int fd_class = 1; fd_class <= 5; ++fd_class) {
+    histogram.AddRow({Num(fd_class), Num(class_counts[fd_class])});
+  }
+  histogram.Print();
+  std::cout << "fact-wise consistency preservation: " << pairs_preserved
+            << "/" << pairs_checked << " sampled pairs\n";
+}
+
+void BM_ClassifyStuckSet(benchmark::State& state) {
+  ParsedFdSet parsed = Example38Class(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifyNonSimplifiable(parsed.fds));
+  }
+}
+BENCHMARK(BM_ClassifyStuckSet)->DenseRange(1, 5);
+
+void BM_MapGadgetTuple(benchmark::State& state) {
+  ParsedFdSet parsed = Example38Class(static_cast<int>(state.range(0)));
+  auto classification = ClassifyNonSimplifiable(parsed.fds);
+  FDR_CHECK(classification.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapGadgetTuple(*classification, parsed.fds,
+                                            parsed.schema, "a", "b", "c"));
+  }
+}
+BENCHMARK(BM_MapGadgetTuple)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

@@ -1,0 +1,115 @@
+// E10 — §4.4's two "infinite sequence" comparisons (the paper's
+// figure-equivalent): on ∆k our 2·mlc ratio is Θ(k) while the
+// Kolahi–Lakshmanan ratio is Θ(k²); on ∆'k ours is Θ(k) while theirs stays
+// constant (9). Report: the exact bound formulas per k, plus measured costs
+// of both algorithms and the combined best-of on generated dirty tables.
+
+#include "report_util.h"
+#include "common/random.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/covers.h"
+#include "urepair/urepair_kl_approx.h"
+#include "urepair/urepair_mlc_approx.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::Num;
+using benchreport::ReportTable;
+
+// A dirty table exercising a family set: entities planted consistent, then
+// corrupted (the Theorem 4.14 reductions concentrate violations the same
+// way: on the B columns via lhs collisions).
+Table FamilyTable(const ParsedFdSet& parsed, int n, int corruptions,
+                  uint64_t seed) {
+  Rng rng(seed);
+  PlantedTableOptions options;
+  options.num_tuples = n;
+  options.num_entities = std::max(2, n / 4);
+  options.corruptions = corruptions;
+  return PlantedDirtyTable(parsed.schema, parsed.fds, options, &rng);
+}
+
+void FamilyReport(const std::string& family_name,
+                  ParsedFdSet (*family)(int), int max_k) {
+  ReportTable table({"k", "mlc", "MFS", "MCI", "ours 2·mlc",
+                     "KL (MCI+2)(2MFS-1)", "measured mlc-route",
+                     "measured KL-route", "combined"});
+  for (int k = 1; k <= max_k; ++k) {
+    ParsedFdSet parsed = family(k);
+    auto mlc = Mlc(parsed.fds);
+    auto mci = Mci(parsed.fds);
+    auto ours = MlcApproxRatioBound(parsed.fds);
+    auto kl = KlApproxRatioBound(parsed.fds);
+    FDR_CHECK(mlc.ok() && mci.ok() && ours.ok() && kl.ok());
+    Table t = FamilyTable(parsed, 24, 10, 440 + k);
+    auto mlc_update = MlcApproxURepair(parsed.fds, t);
+    auto kl_update = KlApproxURepair(parsed.fds, t);
+    auto combined = CombinedApproxURepair(parsed.fds, t);
+    FDR_CHECK(mlc_update.ok() && kl_update.ok() && combined.ok());
+    FDR_CHECK(Satisfies(*mlc_update, parsed.fds));
+    FDR_CHECK(Satisfies(*kl_update, parsed.fds));
+    table.AddRow({Num(k), Num(*mlc), Num(Mfs(parsed.fds)), Num(*mci),
+                  Num(*ours), Num(*kl),
+                  Num(DistUpdOrDie(*mlc_update, t)),
+                  Num(DistUpdOrDie(*kl_update, t)),
+                  Num(DistUpdOrDie(*combined, t))});
+  }
+  std::cout << "\n-- " << family_name << " --\n";
+  table.Print();
+}
+
+void Report() {
+  Banner("E10", "§4.4 — approximation-ratio families ∆k and ∆'k");
+  FamilyReport("∆k = {A0..Ak -> B0, B0 -> C, Bi -> A0} "
+               "(ours Θ(k), KL Θ(k²))",
+               &DeltaKFamily, 8);
+  FamilyReport("∆'k = {Ai Ai+1 -> Bi} (ours Θ(k), KL constant 9)",
+               &DeltaPrimeKFamily, 8);
+  std::cout << "\nTheorem 4.14: computing an optimal U-repair is "
+               "APX-complete for both families at every fixed k — the "
+               "combined approximation (last column) is the paper's "
+               "recommended algorithm.\n";
+}
+
+void BM_MlcRouteOnDeltaK(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ParsedFdSet parsed = DeltaKFamily(k);
+  Table table = FamilyTable(parsed, 128, 40, 91 + k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MlcApproxURepair(parsed.fds, table));
+  }
+}
+BENCHMARK(BM_MlcRouteOnDeltaK)->DenseRange(1, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KlRouteOnDeltaK(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ParsedFdSet parsed = DeltaKFamily(k);
+  Table table = FamilyTable(parsed, 128, 40, 91 + k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KlApproxURepair(parsed.fds, table));
+  }
+}
+BENCHMARK(BM_KlRouteOnDeltaK)->DenseRange(1, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CombinedOnDeltaPrimeK(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ParsedFdSet parsed = DeltaPrimeKFamily(k);
+  Table table = FamilyTable(parsed, 128, 40, 95 + k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CombinedApproxURepair(parsed.fds, table));
+  }
+}
+BENCHMARK(BM_CombinedOnDeltaPrimeK)->DenseRange(1, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

@@ -1,0 +1,114 @@
+// E9 — Section 4's U-repair landscape: the planner's complexity verdict per
+// named FD set (Corollaries 4.6/4.8/4.11, Theorem 4.10, Examples 4.2/4.7),
+// Corollary 4.11's two separating examples highlighted, and scaling of the
+// exact polynomial routes.
+
+#include "report_util.h"
+#include "common/random.h"
+#include "srepair/planner.h"
+#include "urepair/planner.h"
+#include "urepair/urepair_key_cycle.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::Num;
+using benchreport::ReportTable;
+
+void Report() {
+  Banner("E9", "Section 4 — U-repair complexity landscape and routes");
+  ReportTable table({"FD set", "S-repair", "U-repair", "route(s)",
+                     "U ratio bound"});
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    SRepairVerdict s_verdict = ClassifySRepair(named.parsed.fds);
+    auto plan = PlanURepair(named.parsed.fds);
+    FDR_CHECK(plan.ok());
+    std::string routes;
+    for (const auto& component : plan->components) {
+      if (!routes.empty()) routes += "+";
+      routes += URepairRouteToString(component.route);
+    }
+    if (!plan->consensus_attrs.empty()) {
+      routes = routes.empty() ? "consensus-plurality"
+                              : "consensus-plurality+" + routes;
+    }
+    if (routes.empty()) routes = "noop";
+    table.AddRow({named.name,
+                  s_verdict.polynomial ? "polynomial" : "APX-complete",
+                  URepairComplexityToString(plan->complexity), routes,
+                  Num(plan->ratio_bound)});
+  }
+  table.Print();
+
+  std::cout << "\nCorollary 4.11 separations:\n"
+            << "  (1) ∆A<->B->C / ∆4: S-repair polynomial, U-repair "
+               "APX-complete (Theorem 4.10)\n"
+            << "  (2) {A->B, C->D} / ∆0: U-repair polynomial, S-repair "
+               "APX-complete (Example 4.2 + Theorem 3.4)\n";
+}
+
+// Polynomial route scaling: common-lhs exact route (Corollary 4.6).
+void BM_CommonLhsRoute(benchmark::State& state) {
+  ParsedFdSet parsed = OfficeFds();
+  int n = static_cast<int>(state.range(0));
+  Rng rng(46 + n);
+  RandomTableOptions options;
+  options.num_tuples = n;
+  options.domain_size = std::max(4, n / 16);
+  Table table = RandomTable(parsed.schema, options, &rng);
+  URepairOptions planner_options;
+  planner_options.allow_exact_search = false;
+  for (auto _ : state) {
+    auto result = ComputeURepair(parsed.fds, table, planner_options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CommonLhsRoute)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+// Key-cycle exact route (Proposition 4.9).
+void BM_KeyCycleRoute(benchmark::State& state) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B; B -> A");
+  int n = static_cast<int>(state.range(0));
+  Rng rng(49 + n);
+  RandomTableOptions options;
+  options.num_tuples = n;
+  options.domain_size = std::max(4, n / 8);
+  Table table = RandomTable(parsed.schema, options, &rng);
+  for (auto _ : state) {
+    auto result = KeyCycleOptimalURepair(parsed.fds, table);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KeyCycleRoute)->RangeMultiplier(4)->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+// Decomposed planner on attribute-disjoint unions (Theorem 4.1).
+void BM_DisjointUnionPlanner(benchmark::State& state) {
+  ParsedFdSet parsed = Delta0Purchase();
+  int n = static_cast<int>(state.range(0));
+  Rng rng(41 + n);
+  RandomTableOptions options;
+  options.num_tuples = n;
+  options.domain_size = std::max(4, n / 16);
+  Table table = RandomTable(parsed.schema, options, &rng);
+  URepairOptions planner_options;
+  planner_options.allow_exact_search = false;
+  for (auto _ : state) {
+    auto result = ComputeURepair(parsed.fds, table, planner_options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DisjointUnionPlanner)->RangeMultiplier(4)->Range(1024, 32768)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

@@ -1,0 +1,137 @@
+// E7 — Theorem 3.10 / §3.4: Most Probable Database via the log-odds
+// reduction to optimal S-repairing. Report: agreement with brute force on
+// random probabilistic tables, and the Comment 3.11 case ∆A↔B→C solved
+// exactly in polynomial time.
+
+#include <cmath>
+
+#include "report_util.h"
+#include "common/random.h"
+#include "mpd/mpd.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+using benchreport::Banner;
+using benchreport::Num;
+using benchreport::ReportTable;
+
+Table RandomProbTable(const Schema& schema, int n, Rng* rng) {
+  Table table(schema);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::string> values;
+    for (int a = 0; a < schema.arity(); ++a) {
+      values.push_back("v" + std::to_string(rng->UniformUint64(3)));
+    }
+    double p;
+    switch (rng->UniformUint64(5)) {
+      case 0:
+        p = 1.0;
+        break;
+      case 1:
+        p = rng->UniformDouble(0.05, 0.5);
+        break;
+      default:
+        p = rng->UniformDouble(0.55, 0.99);
+    }
+    table.AddTuple(values, p);
+  }
+  return table;
+}
+
+void Report() {
+  Banner("E7", "Theorem 3.10 — Most Probable Database via S-repairs");
+  ReportTable table({"FD set", "trials", "agreements", "max |Δ log P|"});
+  Rng rng(310);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    if (named.parsed.schema.arity() > 5) continue;
+    int trials = 0;
+    int agreements = 0;
+    double max_gap = 0;
+    for (int trial = 0; trial < 8; ++trial) {
+      Rng table_rng = rng.Fork();
+      Table t = RandomProbTable(named.parsed.schema, 9, &table_rng);
+      auto fast = MostProbableDatabase(named.parsed.fds, t);
+      auto slow = MostProbableDatabaseBruteForce(named.parsed.fds, t);
+      if (!fast.ok() || !slow.ok()) continue;
+      ++trials;
+      double gap;
+      if (std::isinf(fast->log_probability) ||
+          std::isinf(slow->log_probability)) {
+        gap = (std::isinf(fast->log_probability) ==
+               std::isinf(slow->log_probability))
+                  ? 0
+                  : 1;
+      } else {
+        gap = std::abs(fast->log_probability - slow->log_probability);
+      }
+      max_gap = std::max(max_gap, gap);
+      if (gap < 1e-9) ++agreements;
+    }
+    if (trials == 0) continue;
+    table.AddRow({named.name, Num(trials), Num(agreements), Num(max_gap)});
+  }
+  table.Print();
+  std::cout << "(MPD = brute-force most probable database on every trial "
+               "iff agreements == trials)\n";
+
+  // Comment 3.11: ∆A↔B→C is tractable for MPD in our dichotomy.
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  Rng big_rng(311);
+  Table t(parsed.schema);
+  for (int i = 0; i < 2000; ++i) {
+    t.AddTuple({"a" + std::to_string(big_rng.UniformUint64(50)),
+                "b" + std::to_string(big_rng.UniformUint64(50)),
+                "c" + std::to_string(big_rng.UniformUint64(4))},
+               big_rng.UniformDouble(0.55, 0.99));
+  }
+  MpdOptions options;
+  options.strategy = SRepairStrategy::kExactOnly;  // poly route only
+  auto result = MostProbableDatabase(parsed.fds, t, options);
+  FDR_CHECK(result.ok());
+  std::cout << "Comment 3.11: MPD for ∆A<->B->C on n = 2000 solved exactly "
+               "via OptSRepair; kept "
+            << result->database.num_tuples() << " tuples, log P = "
+            << Num(result->log_probability) << "\n";
+}
+
+void BM_MpdTractable(benchmark::State& state) {
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  int n = static_cast<int>(state.range(0));
+  Rng rng(99 + n);
+  Table table(parsed.schema);
+  for (int i = 0; i < n; ++i) {
+    table.AddTuple({"a" + std::to_string(rng.UniformUint64(n / 8 + 2)),
+                    "b" + std::to_string(rng.UniformUint64(n / 8 + 2)),
+                    "c" + std::to_string(rng.UniformUint64(4))},
+                   rng.UniformDouble(0.55, 0.99));
+  }
+  MpdOptions options;
+  options.strategy = SRepairStrategy::kExactOnly;
+  for (auto _ : state) {
+    auto result = MostProbableDatabase(parsed.fds, table, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MpdTractable)->RangeMultiplier(4)->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpdBruteForce(benchmark::State& state) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  int n = static_cast<int>(state.range(0));
+  Rng rng(17);
+  Table table = RandomProbTable(parsed.schema, n, &rng);
+  for (auto _ : state) {
+    auto result = MostProbableDatabaseBruteForce(parsed.fds, table);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MpdBruteForce)->DenseRange(8, 16, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fdrepair
+
+FDR_BENCH_MAIN(fdrepair::Report)

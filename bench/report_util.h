@@ -1,0 +1,82 @@
+// Shared helpers for the experiment binaries: each bench prints a
+// paper-shaped report (the rows EXPERIMENTS.md records) before running its
+// google-benchmark timings, so `for b in build/bench/*; do $b; done`
+// regenerates every table and figure in one pass.
+
+#ifndef FDREPAIR_BENCH_REPORT_UTIL_H_
+#define FDREPAIR_BENCH_REPORT_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fdrepair::benchreport {
+
+/// A fixed-width text table printer for report rows.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+           << row[c];
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      rule += "  " + std::string(widths[c], '-');
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const std::string& experiment_id,
+                   const std::string& title) {
+  std::cout << "\n=== " << experiment_id << ": " << title << " ===\n";
+}
+
+inline std::string Num(double value, int precision = 4) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+/// Runs the report, then google-benchmark, from each bench's main().
+#define FDR_BENCH_MAIN(report_fn)                                  \
+  int main(int argc, char** argv) {                                \
+    report_fn();                                                   \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
+      return 1;                                                    \
+    }                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    return 0;                                                      \
+  }
+
+}  // namespace fdrepair::benchreport
+
+#endif  // FDREPAIR_BENCH_REPORT_UTIL_H_

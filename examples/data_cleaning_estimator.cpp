@@ -1,0 +1,108 @@
+// Dirtiness estimation for human-in-the-loop cleaning (the paper's second
+// motivation, §1): "the cost of the optimal repair can serve as an educated
+// estimate for the extent to which the database is dirty and, consequently,
+// the amount of effort needed for completion of cleaning."
+//
+// Scenario: a customer table integrated from three imperfect sources with
+// different trust levels (tuple weights). We compute optimal / approximate
+// repair costs under the business rules and report the estimated cleaning
+// effort per rule set.
+//
+// Build & run:  ./build/examples/data_cleaning_estimator [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "catalog/fd_parser.h"
+#include "common/random.h"
+#include "srepair/planner.h"
+#include "urepair/planner.h"
+#include "workloads/generators.h"
+
+using namespace fdrepair;
+
+namespace {
+
+// Customers(cust_id, name, email, zip, city, segment) with realistic rules.
+Table MakeDirtyCustomers(const Schema& schema, const FdSet& fds,
+                         uint64_t seed) {
+  Rng rng(seed);
+  PlantedTableOptions options;
+  options.num_tuples = 500;
+  options.num_entities = 120;   // ~4 source records per customer
+  options.corruptions = 60;     // integration noise
+  options.heavy_fraction = 0.3;  // trusted-source tuples weigh more
+  options.max_weight = 5.0;
+  return PlantedDirtyTable(schema, fds, options, &rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+
+  Schema schema = Schema::MakeOrDie(
+      "Customers", {"cust_id", "name", "email", "zip", "city", "segment"});
+  // Rule set A: identifying rules (chain-ish, tractable).
+  FdSet rules_a = ParseFdSetOrDie(
+      schema, "cust_id -> name; cust_id -> email; cust_id -> segment");
+  // Rule set B: adds the zip/city geography rule, making the set hard.
+  FdSet rules_b = ParseFdSetOrDie(
+      schema,
+      "cust_id -> name; cust_id -> email; cust_id -> segment; zip -> city");
+
+  Table table = MakeDirtyCustomers(schema, rules_b, seed);
+  std::cout << "Customers table: " << table.num_tuples()
+            << " tuples, total trust weight " << table.TotalWeight()
+            << "\n\n";
+
+  for (const auto& [label, rules] :
+       {std::pair<std::string, FdSet>{"rule set A (per-customer rules)",
+                                      rules_a},
+        {"rule set B (A + zip -> city)", rules_b}}) {
+    std::cout << "== " << label << " ==\n";
+    SRepairVerdict verdict = ClassifySRepair(rules);
+    std::cout << "dichotomy: "
+              << (verdict.polynomial
+                      ? "tractable — exact cost available"
+                      : "APX-complete — using guaranteed approximations")
+              << "\n";
+
+    SRepairOptions srepair_options;
+    srepair_options.strategy = verdict.polynomial
+                                   ? SRepairStrategy::kExactOnly
+                                   : SRepairStrategy::kApproxOnly;
+    auto srepair = ComputeSRepair(rules, table, srepair_options);
+    if (!srepair.ok()) {
+      std::cerr << srepair.status() << "\n";
+      return 1;
+    }
+    std::cout << "  deletion-based dirtiness: " << srepair->distance
+              << " weight units"
+              << (srepair->optimal
+                      ? " (exact)"
+                      : " (within 2x of the true dirtiness)")
+              << "\n";
+
+    URepairOptions urepair_options;
+    urepair_options.allow_exact_search = false;
+    auto urepair = ComputeURepair(rules, table, urepair_options);
+    if (!urepair.ok()) {
+      std::cerr << urepair.status() << "\n";
+      return 1;
+    }
+    std::cout << "  cell-fix dirtiness:       " << urepair->distance
+              << " weighted cell edits"
+              << (urepair->optimal
+                      ? " (exact)"
+                      : " (within " +
+                            std::to_string(urepair->ratio_bound) +
+                            "x of optimal)")
+              << "\n";
+    // Corollary 4.5 gives the analyst a bracket on the true edit effort.
+    std::cout << "  => budget bracket for a cleaning crew: at least "
+              << srepair->distance / 2.0 << ", at most " << urepair->distance
+              << " units of work\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Interactive dichotomy explorer: paste an FD set, get the full complexity
+// verdict for subset repairs (Theorem 3.4, with the Algorithm-2 trace and
+// the Figure-2 class on the hard side) and for update repairs (the §4
+// toolkit verdict), plus the approximation guarantees available.
+//
+// Usage:
+//   ./build/examples/dichotomy_explorer "A -> B; B -> C"
+//   echo "facility -> city; facility room -> floor" | \
+//       ./build/examples/dichotomy_explorer
+
+#include <iostream>
+#include <string>
+
+#include "catalog/fd_parser.h"
+#include "srepair/planner.h"
+#include "urepair/covers.h"
+#include "urepair/planner.h"
+
+using namespace fdrepair;
+
+namespace {
+
+int Explore(const std::string& text) {
+  auto parsed = ParseFdSetInferSchema(text);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.status() << "\n";
+    return 1;
+  }
+  const Schema& schema = parsed->schema;
+  const FdSet& fds = parsed->fds;
+  std::cout << "schema: " << schema.ToString() << "\n"
+            << "∆     : {" << fds.ToString(schema) << "}\n"
+            << "chain : " << (fds.IsChain() ? "yes (Corollaries 3.6, 4.8 "
+                                              "apply)"
+                                            : "no")
+            << "\n\n";
+
+  std::cout << "--- optimal S-repair (Theorem 3.4 dichotomy) ---\n";
+  SRepairVerdict s_verdict = ClassifySRepair(fds);
+  std::cout << s_verdict.ToString(schema) << "\n";
+  if (!s_verdict.polynomial) {
+    std::cout << "guarantee: 2-approximation via weighted vertex cover "
+                 "(Proposition 3.3)\n";
+  }
+
+  std::cout << "\n--- optimal U-repair (Section 4) ---\n";
+  auto u_plan = PlanURepair(fds);
+  if (!u_plan.ok()) {
+    std::cerr << u_plan.status() << "\n";
+    return 1;
+  }
+  std::cout << u_plan->ToString(schema) << "\n";
+  if (u_plan->complexity != URepairComplexity::kPolynomial) {
+    auto ours = MlcApproxRatioBound(fds);
+    auto kl = KlApproxRatioBound(fds);
+    std::cout << "guarantees: ours 2·mlc = "
+              << (ours.ok() ? std::to_string(*ours) : ours.status().ToString())
+              << ", Kolahi-Lakshmanan (MCI+2)(2MFS-1) = "
+              << (kl.ok() ? std::to_string(*kl) : kl.status().ToString())
+              << " (the planner runs both and keeps the cheaper repair)\n";
+  }
+
+  std::cout << "\n--- MPD (Theorem 3.10) ---\n";
+  std::cout << "most probable database is "
+            << (s_verdict.polynomial ? "solvable in polynomial time"
+                                     : "NP-hard")
+            << " for this ∆\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) return Explore(argv[1]);
+  std::cout << "enter an FD set (e.g. \"A B -> C; C -> B\"), one per line; "
+               "Ctrl-D to exit\n> " << std::flush;
+  std::string line;
+  int status = 0;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty()) status = Explore(line);
+    std::cout << "\n> " << std::flush;
+  }
+  return status;
+}

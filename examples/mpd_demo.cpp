@@ -1,0 +1,58 @@
+// Probabilistic cleaning via the Most Probable Database (§3.4): sensor
+// readings arrive with per-tuple confidences; conditioning the
+// tuple-independent distribution on the FDs and taking the most probable
+// world *is* an optimal S-repair of the log-odds-weighted table
+// (Theorem 3.10).
+//
+// Build & run:  ./build/examples/mpd_demo
+
+#include <iostream>
+
+#include "catalog/fd_parser.h"
+#include "mpd/mpd.h"
+
+using namespace fdrepair;
+
+int main() {
+  // Sensor registry: each sensor sits in one room, each room on one floor.
+  Schema schema = Schema::MakeOrDie("Readings", {"sensor", "room", "floor"});
+  FdSet fds = ParseFdSetOrDie(schema, "sensor -> room; room -> floor");
+
+  Table table(schema);
+  // A certain installation record, two conflicting medium-confidence
+  // readings, and a low-confidence outlier.
+  table.AddTuple({"s1", "r101", "1"}, 1.0);   // certain
+  table.AddTuple({"s1", "r102", "1"}, 0.8);   // conflicts with the record
+  table.AddTuple({"s2", "r101", "1"}, 0.9);
+  table.AddTuple({"s2", "r101", "2"}, 0.7);   // floor disagreement
+  table.AddTuple({"s3", "r200", "2"}, 0.45);  // p <= 0.5: never worth keeping
+  table.AddTuple({"s4", "r201", "2"}, 0.85);
+
+  std::cout << "Probabilistic readings (weight = confidence):\n"
+            << table.ToString() << "\n";
+
+  auto mpd = MostProbableDatabase(fds, table);
+  if (!mpd.ok()) {
+    std::cerr << mpd.status() << "\n";
+    return 1;
+  }
+  if (!mpd->feasible) {
+    std::cout << "certain tuples conflict: every consistent world has "
+                 "probability 0\n";
+    return 0;
+  }
+  std::cout << "Most probable consistent database (log P = "
+            << mpd->log_probability << "):\n"
+            << mpd->database.ToString() << "\n";
+
+  // Cross-check against exhaustive enumeration (2^n worlds).
+  auto brute = MostProbableDatabaseBruteForce(fds, table);
+  if (brute.ok()) {
+    std::cout << "exhaustive check: log P = " << brute->log_probability
+              << (std::abs(brute->log_probability - mpd->log_probability) <
+                          1e-9
+                      ? "  ✓ reduction matched the true optimum\n"
+                      : "  ✗ MISMATCH\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "catalog/attrset.h"
+
+#include <sstream>
+
+namespace fdrepair {
+
+AttrSet AttrSet::Singleton(AttrId attr) {
+  FDR_CHECK_MSG(attr >= 0 && attr < kMaxAttributes, "attr=" << attr);
+  return AttrSet(uint64_t{1} << attr);
+}
+
+AttrSet AttrSet::Of(std::initializer_list<AttrId> attrs) {
+  AttrSet out;
+  for (AttrId attr : attrs) out = out.Union(Singleton(attr));
+  return out;
+}
+
+AttrSet AttrSet::FromVector(const std::vector<AttrId>& attrs) {
+  AttrSet out;
+  for (AttrId attr : attrs) out = out.Union(Singleton(attr));
+  return out;
+}
+
+AttrSet AttrSet::AllOf(int k) {
+  FDR_CHECK_MSG(k >= 0 && k <= kMaxAttributes, "k=" << k);
+  if (k == 0) return AttrSet();
+  if (k == kMaxAttributes) return AttrSet(~uint64_t{0});
+  return AttrSet((uint64_t{1} << k) - 1);
+}
+
+bool AttrSet::Contains(AttrId attr) const {
+  if (attr < 0 || attr >= kMaxAttributes) return false;
+  return (bits_ >> attr) & 1;
+}
+
+AttrSet AttrSet::With(AttrId attr) const {
+  return Union(Singleton(attr));
+}
+
+AttrSet AttrSet::Without(AttrId attr) const {
+  return Minus(Singleton(attr));
+}
+
+std::vector<AttrId> AttrSet::ToVector() const {
+  std::vector<AttrId> out;
+  out.reserve(size());
+  ForEachAttr(*this, [&](AttrId attr) { out.push_back(attr); });
+  return out;
+}
+
+AttrId AttrSet::First() const {
+  FDR_CHECK(!empty());
+  return __builtin_ctzll(bits_);
+}
+
+std::string AttrSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  ForEachAttr(*this, [&](AttrId attr) {
+    if (!first) os << ",";
+    first = false;
+    os << attr;
+  });
+  os << "}";
+  return os.str();
+}
+
+}  // namespace fdrepair

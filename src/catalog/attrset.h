@@ -1,0 +1,120 @@
+// AttrSet: a set of attribute positions represented as a 64-bit bitset.
+//
+// The paper's algorithms manipulate attribute sets constantly (closures,
+// lhs/rhs surgery, the ∆ − X operation); a machine-word bitset makes all of
+// those O(1) and keeps FdSet operations allocation-free. The data-complexity
+// stance of the paper (schema fixed, k small) makes 64 attributes a
+// comfortable ceiling, enforced by Schema.
+
+#ifndef FDREPAIR_CATALOG_ATTRSET_H_
+#define FDREPAIR_CATALOG_ATTRSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// Index of an attribute within a Schema (0-based column position).
+using AttrId = int;
+
+/// Maximum number of attributes in a relation schema.
+inline constexpr int kMaxAttributes = 64;
+
+/// An immutable-by-convention set of attribute ids with value semantics.
+/// Follows the paper's notation: sets are written without braces (ABC), the
+/// empty set is ∅, and X ⊆ Y / X ∪ Y / X ∖ Y are the usual set operations.
+class AttrSet {
+ public:
+  /// The empty attribute set ∅.
+  constexpr AttrSet() : bits_(0) {}
+
+  /// The singleton {attr}; attr must be in [0, kMaxAttributes).
+  static AttrSet Singleton(AttrId attr);
+
+  /// The set of all ids in `attrs` (duplicates allowed and collapsed).
+  static AttrSet Of(std::initializer_list<AttrId> attrs);
+  static AttrSet FromVector(const std::vector<AttrId>& attrs);
+
+  /// The set {0, 1, ..., k-1}: every attribute of a k-ary schema.
+  static AttrSet AllOf(int k);
+
+  /// Wraps a raw bitmask (bit i set <=> attribute i in the set).
+  static constexpr AttrSet FromBits(uint64_t bits) { return AttrSet(bits); }
+  constexpr uint64_t bits() const { return bits_; }
+
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcountll(bits_); }
+  bool Contains(AttrId attr) const;
+
+  /// X ⊆ other.
+  bool IsSubsetOf(AttrSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  /// X ⊂ other (strict).
+  bool IsStrictSubsetOf(AttrSet other) const {
+    return IsSubsetOf(other) && bits_ != other.bits_;
+  }
+  bool Intersects(AttrSet other) const { return (bits_ & other.bits_) != 0; }
+
+  AttrSet Union(AttrSet other) const { return AttrSet(bits_ | other.bits_); }
+  AttrSet Intersect(AttrSet other) const {
+    return AttrSet(bits_ & other.bits_);
+  }
+  /// X ∖ other.
+  AttrSet Minus(AttrSet other) const { return AttrSet(bits_ & ~other.bits_); }
+
+  AttrSet With(AttrId attr) const;
+  AttrSet Without(AttrId attr) const;
+
+  /// The members in increasing id order.
+  std::vector<AttrId> ToVector() const;
+
+  /// Smallest member; requires non-empty.
+  AttrId First() const;
+
+  /// Debug rendering with numeric ids, e.g. "{0,2,5}"; Schema::NamesOf gives
+  /// the human-readable form.
+  std::string ToString() const;
+
+  bool operator==(const AttrSet& other) const = default;
+  /// Orders by bitmask; used for canonical sorting of FDs.
+  bool operator<(const AttrSet& other) const { return bits_ < other.bits_; }
+
+ private:
+  explicit constexpr AttrSet(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits_;
+};
+
+/// Iteration helper: calls fn(attr) for each member in increasing order.
+template <typename Fn>
+void ForEachAttr(AttrSet set, Fn fn) {
+  uint64_t bits = set.bits();
+  while (bits != 0) {
+    AttrId attr = __builtin_ctzll(bits);
+    fn(attr);
+    bits &= bits - 1;
+  }
+}
+
+/// Enumerates all subsets of `universe` (including ∅ and itself), invoking
+/// fn(subset). Cost 2^|universe|; callers guard sizes. Used by the minimum
+/// hitting-set computations (mlc, MCI) where the paper allows exponential
+/// dependence on the fixed schema.
+template <typename Fn>
+void ForEachSubset(AttrSet universe, Fn fn) {
+  uint64_t u = universe.bits();
+  uint64_t sub = 0;
+  while (true) {
+    fn(AttrSet::FromBits(sub));
+    if (sub == u) break;
+    sub = (sub - u) & u;  // next subset in lexicographic mask order
+  }
+}
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_CATALOG_ATTRSET_H_

@@ -1,0 +1,24 @@
+#include "catalog/fd.h"
+
+#include <sstream>
+
+namespace fdrepair {
+
+std::string Fd::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  if (lhs.empty()) {
+    os << "{}";
+  } else {
+    os << schema.NamesOf(lhs);
+  }
+  os << " -> " << schema.AttributeName(rhs);
+  return os.str();
+}
+
+std::string Fd::ToString() const {
+  std::ostringstream os;
+  os << lhs.ToString() << " -> " << rhs;
+  return os.str();
+}
+
+}  // namespace fdrepair

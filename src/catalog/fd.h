@@ -1,0 +1,58 @@
+// Fd: a functional dependency X → A in the single-rhs normal form the paper
+// adopts throughout §3 ("we assume that every FD has a single attribute on
+// its right-hand side"). The parser accepts general X → Y and normalizes.
+
+#ifndef FDREPAIR_CATALOG_FD_H_
+#define FDREPAIR_CATALOG_FD_H_
+
+#include <string>
+
+#include "catalog/attrset.h"
+#include "catalog/schema.h"
+
+namespace fdrepair {
+
+/// A functional dependency lhs → rhs with a single rhs attribute.
+struct Fd {
+  AttrSet lhs;
+  AttrId rhs = 0;
+
+  Fd() = default;
+  Fd(AttrSet lhs_in, AttrId rhs_in) : lhs(lhs_in), rhs(rhs_in) {}
+
+  /// Trivial iff rhs ∈ lhs (§2.2): satisfied by every table.
+  bool IsTrivial() const { return lhs.Contains(rhs); }
+
+  /// Consensus iff the lhs is empty (∅ → A, §2.2): all tuples must agree
+  /// on the rhs attribute.
+  bool IsConsensus() const { return lhs.empty(); }
+
+  /// All attributes mentioned by this FD (lhs ∪ {rhs}).
+  AttrSet Attrs() const { return lhs.With(rhs); }
+
+  /// Renders with schema names, e.g. "facility room -> floor" or "{} -> C".
+  std::string ToString(const Schema& schema) const;
+  /// Renders with numeric ids, e.g. "{0,1} -> 2".
+  std::string ToString() const;
+
+  bool operator==(const Fd& other) const = default;
+  /// Canonical order: by lhs bitmask, then rhs. FdSet keeps FDs sorted so
+  /// equal sets compare equal structurally.
+  bool operator<(const Fd& other) const {
+    if (lhs != other.lhs) return lhs < other.lhs;
+    return rhs < other.rhs;
+  }
+};
+
+/// A general FD X → Y before single-rhs normalization; produced by the
+/// parser and by user-facing builders.
+struct RawFd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const RawFd& other) const = default;
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_CATALOG_FD_H_

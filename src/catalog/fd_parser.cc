@@ -1,0 +1,129 @@
+#include "catalog/fd_parser.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace fdrepair {
+namespace {
+
+// One side of an FD as a list of attribute names ("{}" -> empty list).
+StatusOr<std::vector<std::string>> ParseSide(std::string_view side_text) {
+  std::string_view stripped = StripAsciiWhitespace(side_text);
+  if (stripped == "{}" || stripped == "∅") return std::vector<std::string>{};
+  std::string normalized(stripped);
+  for (char& c : normalized) {
+    if (c == ',') c = ' ';
+  }
+  std::vector<std::string> names = SplitWhitespace(normalized);
+  if (names.empty()) {
+    return Status::InvalidArgument(
+        "empty FD side; write '{}' for an empty lhs");
+  }
+  return names;
+}
+
+struct TextFd {
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+};
+
+StatusOr<std::vector<TextFd>> Tokenize(std::string_view text) {
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == '\n') c = ';';
+  }
+  std::vector<TextFd> out;
+  for (const std::string& piece : Split(normalized, ';')) {
+    std::string_view fd_text = StripAsciiWhitespace(piece);
+    if (fd_text.empty()) continue;
+    size_t arrow = fd_text.find("->");
+    if (arrow == std::string_view::npos) {
+      return Status::InvalidArgument("FD missing '->': '" +
+                                     std::string(fd_text) + "'");
+    }
+    if (fd_text.find("->", arrow + 2) != std::string_view::npos) {
+      return Status::InvalidArgument("FD with multiple '->': '" +
+                                     std::string(fd_text) + "'");
+    }
+    auto lhs = ParseSide(fd_text.substr(0, arrow));
+    if (!lhs.ok()) {
+      // An absent lhs ("-> A") also denotes a consensus FD.
+      if (StripAsciiWhitespace(fd_text.substr(0, arrow)).empty()) {
+        lhs = std::vector<std::string>{};
+      } else {
+        return lhs.status();
+      }
+    }
+    auto rhs = ParseSide(fd_text.substr(arrow + 2));
+    FDR_RETURN_IF_ERROR(rhs.status());
+    if (rhs.value().empty()) {
+      return Status::InvalidArgument("FD with empty rhs: '" +
+                                     std::string(fd_text) + "'");
+    }
+    out.push_back(TextFd{std::move(lhs).value(), std::move(rhs).value()});
+  }
+  return out;
+}
+
+StatusOr<FdSet> Resolve(const Schema& schema, const std::vector<TextFd>& fds) {
+  std::vector<RawFd> raw;
+  raw.reserve(fds.size());
+  for (const TextFd& fd : fds) {
+    RawFd r;
+    for (const std::string& name : fd.lhs) {
+      FDR_ASSIGN_OR_RETURN(AttrId attr, schema.AttributeId(name));
+      r.lhs = r.lhs.With(attr);
+    }
+    for (const std::string& name : fd.rhs) {
+      FDR_ASSIGN_OR_RETURN(AttrId attr, schema.AttributeId(name));
+      r.rhs = r.rhs.With(attr);
+    }
+    raw.push_back(r);
+  }
+  return FdSet::FromRaw(raw);
+}
+
+}  // namespace
+
+StatusOr<FdSet> ParseFdSet(const Schema& schema, std::string_view text) {
+  FDR_ASSIGN_OR_RETURN(std::vector<TextFd> fds, Tokenize(text));
+  return Resolve(schema, fds);
+}
+
+StatusOr<ParsedFdSet> ParseFdSetInferSchema(std::string_view text,
+                                            std::string relation_name) {
+  FDR_ASSIGN_OR_RETURN(std::vector<TextFd> fds, Tokenize(text));
+  std::vector<std::string> names;
+  auto note = [&](const std::string& name) {
+    for (const std::string& seen : names) {
+      if (seen == name) return;
+    }
+    names.push_back(name);
+  };
+  for (const TextFd& fd : fds) {
+    for (const std::string& name : fd.lhs) note(name);
+    for (const std::string& name : fd.rhs) note(name);
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("no attributes found in FD text");
+  }
+  FDR_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Make(std::move(relation_name), names));
+  FDR_ASSIGN_OR_RETURN(FdSet fdset, Resolve(schema, fds));
+  return ParsedFdSet{std::move(schema), std::move(fdset)};
+}
+
+FdSet ParseFdSetOrDie(const Schema& schema, std::string_view text) {
+  auto result = ParseFdSet(schema, text);
+  FDR_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+ParsedFdSet ParseFdSetInferSchemaOrDie(std::string_view text) {
+  auto result = ParseFdSetInferSchema(text);
+  FDR_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace fdrepair

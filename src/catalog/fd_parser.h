@@ -1,0 +1,44 @@
+// Text notation for FD sets, used by tests, examples and the
+// dichotomy_explorer CLI.
+//
+// Grammar (whitespace-insensitive):
+//   fdset    := fd (';' fd)* [';']        -- newlines also separate FDs
+//   fd       := side '->' side
+//   side     := '{}' | attr+              -- attrs separated by spaces/commas
+// Examples:
+//   "A B -> C ; C -> B"
+//   "facility -> city; facility room -> floor"
+//   "{} -> C"                              -- a consensus FD
+
+#ifndef FDREPAIR_CATALOG_FD_PARSER_H_
+#define FDREPAIR_CATALOG_FD_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "catalog/fdset.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// Parses `text` against a known schema; unknown attribute names fail.
+StatusOr<FdSet> ParseFdSet(const Schema& schema, std::string_view text);
+
+/// Parses `text`, inferring a schema whose attributes are the names in order
+/// of first appearance. Handy for schema-free discussions like "{A→B,B→C}".
+struct ParsedFdSet {
+  Schema schema;
+  FdSet fds;
+};
+StatusOr<ParsedFdSet> ParseFdSetInferSchema(std::string_view text,
+                                            std::string relation_name = "R");
+
+/// Aborting conveniences for tests and benches where the input is a literal.
+FdSet ParseFdSetOrDie(const Schema& schema, std::string_view text);
+ParsedFdSet ParseFdSetInferSchemaOrDie(std::string_view text);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_CATALOG_FD_PARSER_H_

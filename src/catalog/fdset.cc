@@ -1,0 +1,209 @@
+#include "catalog/fdset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fdrepair {
+
+FdSet FdSet::FromFds(std::vector<Fd> fds) {
+  std::sort(fds.begin(), fds.end());
+  fds.erase(std::unique(fds.begin(), fds.end()), fds.end());
+  return FdSet(std::move(fds));
+}
+
+FdSet FdSet::FromRaw(const std::vector<RawFd>& raw_fds) {
+  std::vector<Fd> fds;
+  for (const RawFd& raw : raw_fds) {
+    ForEachAttr(raw.rhs, [&](AttrId attr) { fds.emplace_back(raw.lhs, attr); });
+  }
+  return FromFds(std::move(fds));
+}
+
+AttrSet FdSet::Attrs() const {
+  AttrSet out;
+  for (const Fd& fd : fds_) out = out.Union(fd.Attrs());
+  return out;
+}
+
+AttrSet FdSet::Closure(AttrSet x) const {
+  AttrSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds_) {
+      if (fd.lhs.IsSubsetOf(closure) && !closure.Contains(fd.rhs)) {
+        closure = closure.With(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Entails(const Fd& fd) const {
+  return Closure(fd.lhs).Contains(fd.rhs);
+}
+
+bool FdSet::EntailsRaw(const RawFd& fd) const {
+  return fd.rhs.IsSubsetOf(Closure(fd.lhs));
+}
+
+bool FdSet::EquivalentTo(const FdSet& other) const {
+  for (const Fd& fd : other.fds_) {
+    if (!Entails(fd)) return false;
+  }
+  for (const Fd& fd : fds_) {
+    if (!other.Entails(fd)) return false;
+  }
+  return true;
+}
+
+bool FdSet::IsTrivial() const {
+  for (const Fd& fd : fds_) {
+    if (!fd.IsTrivial()) return false;
+  }
+  return true;
+}
+
+FdSet FdSet::WithoutTrivial() const {
+  std::vector<Fd> out;
+  for (const Fd& fd : fds_) {
+    if (!fd.IsTrivial()) out.push_back(fd);
+  }
+  return FdSet(std::move(out));  // already sorted/unique
+}
+
+AttrSet FdSet::ConsensusAttrs() const { return Closure(AttrSet()); }
+
+std::optional<AttrId> FdSet::FindCommonLhsAttr() const {
+  if (fds_.empty()) return std::nullopt;
+  AttrSet common = fds_.front().lhs;
+  for (const Fd& fd : fds_) common = common.Intersect(fd.lhs);
+  if (common.empty()) return std::nullopt;
+  return common.First();
+}
+
+std::optional<Fd> FdSet::FindConsensusFd() const {
+  for (const Fd& fd : fds_) {
+    if (fd.IsConsensus()) return fd;
+  }
+  return std::nullopt;
+}
+
+std::optional<LhsMarriage> FdSet::FindLhsMarriage() const {
+  std::vector<AttrSet> lhss = DistinctLhss();
+  for (size_t i = 0; i < lhss.size(); ++i) {
+    for (size_t j = i + 1; j < lhss.size(); ++j) {
+      const AttrSet x1 = lhss[i];
+      const AttrSet x2 = lhss[j];
+      if (Closure(x1) != Closure(x2)) continue;
+      bool covers_all = true;
+      for (const AttrSet& lhs : lhss) {
+        if (!x1.IsSubsetOf(lhs) && !x2.IsSubsetOf(lhs)) {
+          covers_all = false;
+          break;
+        }
+      }
+      if (covers_all) return LhsMarriage{x1, x2};
+    }
+  }
+  return std::nullopt;
+}
+
+FdSet FdSet::MinusAttrs(AttrSet x) const {
+  std::vector<Fd> out;
+  for (const Fd& fd : fds_) {
+    if (x.Contains(fd.rhs)) continue;  // rhs removed: FD disappears
+    out.emplace_back(fd.lhs.Minus(x), fd.rhs);
+  }
+  return FromFds(std::move(out));
+}
+
+bool FdSet::IsChain() const {
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    for (size_t j = i + 1; j < fds_.size(); ++j) {
+      const AttrSet a = fds_[i].lhs;
+      const AttrSet b = fds_[j].lhs;
+      if (!a.IsSubsetOf(b) && !b.IsSubsetOf(a)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Fd> FdSet::LocalMinima() const {
+  std::vector<Fd> out;
+  for (const Fd& fd : fds_) {
+    bool minimal = true;
+    for (const Fd& other : fds_) {
+      if (other.lhs.IsStrictSubsetOf(fd.lhs)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(fd);
+  }
+  return out;
+}
+
+std::vector<AttrSet> FdSet::DistinctLhss() const {
+  std::vector<AttrSet> out;
+  for (const Fd& fd : fds_) out.push_back(fd.lhs);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FdSet FdSet::RestrictTo(AttrSet attrs) const {
+  std::vector<Fd> out;
+  for (const Fd& fd : fds_) {
+    if (fd.Attrs().IsSubsetOf(attrs)) out.push_back(fd);
+  }
+  return FdSet(std::move(out));
+}
+
+std::vector<FdSet> FdSet::AttributeDisjointComponents() const {
+  // Union-find over FDs: two FDs are connected when they share an attribute.
+  const int n = size();
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](int v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (fds_[i].Attrs().Intersects(fds_[j].Attrs())) unite(i, j);
+    }
+  }
+  std::vector<std::vector<Fd>> groups(n);
+  for (int i = 0; i < n; ++i) groups[find(i)].push_back(fds_[i]);
+  std::vector<FdSet> out;
+  for (auto& group : groups) {
+    if (!group.empty()) out.push_back(FromFds(std::move(group)));
+  }
+  return out;
+}
+
+std::string FdSet::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << fds_[i].ToString(schema);
+  }
+  return os.str();
+}
+
+std::string FdSet::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << fds_[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace fdrepair

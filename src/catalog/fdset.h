@@ -1,0 +1,120 @@
+// FdSet: a set ∆ of functional dependencies over one schema, with the
+// closure and structural predicates the paper's algorithms are built from
+// (§2.2, §3): cl∆(X), entailment, trivial/consensus FDs, common lhs,
+// lhs marriage, chain sets, local minima, and the ∆ − X operation.
+
+#ifndef FDREPAIR_CATALOG_FDSET_H_
+#define FDREPAIR_CATALOG_FDSET_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/fd.h"
+#include "catalog/schema.h"
+
+namespace fdrepair {
+
+/// An lhs marriage (§2.2): a pair (X1, X2) of distinct lhs's of FDs in ∆
+/// with cl∆(X1) = cl∆(X2) such that every lhs in ∆ contains X1 or X2.
+struct LhsMarriage {
+  AttrSet x1;
+  AttrSet x2;
+};
+
+/// An immutable set of FDs in single-rhs normal form, kept sorted and
+/// deduplicated so structural equality is well defined.
+class FdSet {
+ public:
+  /// The empty (hence trivial) FD set.
+  FdSet() = default;
+
+  /// Canonicalizes (sorts, dedupes) the given FDs.
+  static FdSet FromFds(std::vector<Fd> fds);
+
+  /// Normalizes general FDs X → Y into {X → A : A ∈ Y} and canonicalizes.
+  /// An FD with empty rhs contributes nothing.
+  static FdSet FromRaw(const std::vector<RawFd>& raw_fds);
+
+  const std::vector<Fd>& fds() const { return fds_; }
+  bool empty() const { return fds_.empty(); }
+  int size() const { return static_cast<int>(fds_.size()); }
+
+  /// attr(∆): every attribute mentioned in some lhs or rhs (§4).
+  AttrSet Attrs() const;
+
+  /// cl∆(X): all attributes A with ∆ ⊧ X → A, computed by fixpoint.
+  AttrSet Closure(AttrSet x) const;
+
+  /// ∆ ⊧ lhs → rhs.
+  bool Entails(const Fd& fd) const;
+  bool EntailsRaw(const RawFd& fd) const;
+
+  /// Same closure, i.e. each set entails every FD of the other (§2.2).
+  bool EquivalentTo(const FdSet& other) const;
+
+  /// True iff ∆ contains no nontrivial FD (§2.2); the successful base case
+  /// of OptSRepair.
+  bool IsTrivial() const;
+
+  /// ∆ with trivial FDs removed (line 3 of Algorithm 1).
+  FdSet WithoutTrivial() const;
+
+  /// cl∆(∅): the consensus attributes (§2.2).
+  AttrSet ConsensusAttrs() const;
+  bool IsConsensusFree() const { return ConsensusAttrs().empty(); }
+
+  /// An attribute contained in every lhs, if one exists. Returns nullopt for
+  /// the empty set (no FDs means the simplification is moot) and whenever
+  /// some FD has an empty lhs.
+  std::optional<AttrId> FindCommonLhsAttr() const;
+
+  /// A consensus FD ∅ → A contained (syntactically) in ∆, if any.
+  std::optional<Fd> FindConsensusFd() const;
+
+  /// An lhs marriage (X1, X2), if one exists. Deterministic: scans distinct
+  /// lhs's in canonical order. Requires no particular precondition, but
+  /// Algorithm 1 only consults it after the common-lhs and consensus cases.
+  std::optional<LhsMarriage> FindLhsMarriage() const;
+
+  /// ∆ − X (§3 notation): removes every attribute of `x` from every lhs and
+  /// rhs. In single-rhs form, an FD whose rhs is removed disappears; an FD
+  /// whose lhs empties becomes a consensus FD.
+  FdSet MinusAttrs(AttrSet x) const;
+
+  /// Chain test (§2.2): every two lhs's are ⊆-comparable. Chain FD sets are
+  /// exactly the sets OSRSucceeds reduces by common-lhs + consensus alone
+  /// (Corollary 3.6).
+  bool IsChain() const;
+
+  /// FDs with set-minimal lhs: no FD in ∆ has a lhs strictly contained in
+  /// theirs (§3.3). Non-simplifiable sets have ≥ 2 with distinct lhs's.
+  std::vector<Fd> LocalMinima() const;
+
+  /// The distinct lhs's appearing in ∆, in canonical order.
+  std::vector<AttrSet> DistinctLhss() const;
+
+  /// Restricts ∆ to the FDs whose attributes all lie inside `attrs`.
+  /// Used by the attribute-disjoint decomposition (Theorem 4.1).
+  FdSet RestrictTo(AttrSet attrs) const;
+
+  /// Partitions ∆ into maximal attribute-disjoint sub-sets ∆1 ∪ ... ∪ ∆m
+  /// (connected components of FDs under shared attributes; Theorem 4.1).
+  std::vector<FdSet> AttributeDisjointComponents() const;
+
+  /// "A -> B; B -> C" with schema names / numeric ids.
+  std::string ToString(const Schema& schema) const;
+  std::string ToString() const;
+
+  bool operator==(const FdSet& other) const = default;
+
+ private:
+  explicit FdSet(std::vector<Fd> fds) : fds_(std::move(fds)) {}
+
+  std::vector<Fd> fds_;  // sorted, unique
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_CATALOG_FDSET_H_

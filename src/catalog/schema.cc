@@ -1,0 +1,106 @@
+#include "catalog/schema.h"
+
+#include <sstream>
+
+namespace fdrepair {
+
+StatusOr<Schema> Schema::Make(std::string relation_name,
+                              std::vector<std::string> attribute_names) {
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("schema must have at least one attribute");
+  }
+  if (attribute_names.size() > static_cast<size_t>(kMaxAttributes)) {
+    return Status::NotSupported("schema exceeds " +
+                                std::to_string(kMaxAttributes) +
+                                " attributes");
+  }
+  std::unordered_map<std::string, AttrId> seen;
+  for (size_t i = 0; i < attribute_names.size(); ++i) {
+    const std::string& name = attribute_names[i];
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name at position " +
+                                     std::to_string(i));
+    }
+    if (!seen.emplace(name, static_cast<AttrId>(i)).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + name);
+    }
+  }
+  return Schema(std::move(relation_name), std::move(attribute_names));
+}
+
+Schema Schema::MakeOrDie(std::string relation_name,
+                         std::vector<std::string> attribute_names) {
+  auto schema = Make(std::move(relation_name), std::move(attribute_names));
+  FDR_CHECK_MSG(schema.ok(), schema.status().ToString());
+  return std::move(schema).value();
+}
+
+Schema Schema::Anonymous(int arity) {
+  std::vector<std::string> names;
+  names.reserve(arity);
+  for (int i = 0; i < arity; ++i) {
+    if (i < 26) {
+      names.push_back(std::string(1, static_cast<char>('A' + i)));
+    } else {
+      names.push_back("A" + std::to_string(i + 1));
+    }
+  }
+  return MakeOrDie("R", std::move(names));
+}
+
+Schema::Schema(std::string relation_name,
+               std::vector<std::string> attribute_names)
+    : relation_name_(std::move(relation_name)),
+      attribute_names_(std::move(attribute_names)) {
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    index_.emplace(attribute_names_[i], static_cast<AttrId>(i));
+  }
+}
+
+const std::string& Schema::AttributeName(AttrId attr) const {
+  FDR_CHECK_MSG(attr >= 0 && attr < arity(), "attr=" << attr);
+  return attribute_names_[attr];
+}
+
+StatusOr<AttrId> Schema::AttributeId(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + name + "' in " +
+                            ToString());
+  }
+  return it->second;
+}
+
+bool Schema::HasAttribute(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+std::string Schema::NamesOf(AttrSet set) const {
+  if (set.empty()) return "∅";
+  std::ostringstream os;
+  bool first = true;
+  ForEachAttr(set, [&](AttrId attr) {
+    if (!first) os << " ";
+    first = false;
+    os << AttributeName(attr);
+  });
+  return os.str();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << relation_name_ << "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) os << ", ";
+    os << attribute_names_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return relation_name_ == other.relation_name_ &&
+         attribute_names_ == other.attribute_names_;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,68 @@
+// Schema: a relation schema R(A1, ..., Ak) — an ordered list of named
+// attributes (§2.1 of the paper). Attribute names map to AttrIds (column
+// positions), which the rest of the library uses exclusively; names resurface
+// only for parsing and printing.
+
+#ifndef FDREPAIR_CATALOG_SCHEMA_H_
+#define FDREPAIR_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/attrset.h"
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// An immutable relation schema: a relation name plus k distinct attributes.
+class Schema {
+ public:
+  /// Builds a schema; fails if names are empty, duplicated, or more than
+  /// kMaxAttributes of them.
+  static StatusOr<Schema> Make(std::string relation_name,
+                               std::vector<std::string> attribute_names);
+
+  /// Convenience for tests and examples: aborts on invalid input.
+  static Schema MakeOrDie(std::string relation_name,
+                          std::vector<std::string> attribute_names);
+
+  /// An anonymous k-ary schema R(A, B, C, ...) (single letters up to k=26,
+  /// then A27, A28, ...). Matches the paper's generic schemas.
+  static Schema Anonymous(int arity);
+
+  const std::string& relation_name() const { return relation_name_; }
+  int arity() const { return static_cast<int>(attribute_names_.size()); }
+
+  /// All attributes as a set: {0, ..., k-1}.
+  AttrSet AllAttrs() const { return AttrSet::AllOf(arity()); }
+
+  /// Name of attribute `attr`; requires 0 <= attr < arity().
+  const std::string& AttributeName(AttrId attr) const;
+
+  /// Id of the attribute called `name`, or kNotFound.
+  StatusOr<AttrId> AttributeId(const std::string& name) const;
+  bool HasAttribute(const std::string& name) const;
+
+  /// Renders an AttrSet with attribute names in paper style: "facility room"
+  /// for a set, "∅" for the empty set.
+  std::string NamesOf(AttrSet set) const;
+
+  /// "R(A, B, C)".
+  std::string ToString() const;
+
+  /// Schemas are equal when relation name and the ordered attribute list
+  /// coincide.
+  bool operator==(const Schema& other) const;
+
+ private:
+  Schema(std::string relation_name, std::vector<std::string> attribute_names);
+
+  std::string relation_name_;
+  std::vector<std::string> attribute_names_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_CATALOG_SCHEMA_H_

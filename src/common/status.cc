@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace fdrepair {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotSupported:
+      return "not-supported";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::cerr << file << ":" << line << ": " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fdrepair

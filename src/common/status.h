@@ -1,0 +1,199 @@
+// Status / StatusOr: exception-free error propagation in the style of
+// Arrow and RocksDB. Every fallible public API in fdrepair returns one of
+// these; internal invariant violations use the FDR_CHECK macros instead.
+
+#ifndef FDREPAIR_COMMON_STATUS_H_
+#define FDREPAIR_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace fdrepair {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed something malformed (bad FD string, unknown attribute,
+  /// mismatched schema, non-positive weight, ...).
+  kInvalidArgument = 1,
+  /// The request is well-formed but this build cannot honor it
+  /// (e.g. more than kMaxAttributes attributes).
+  kNotSupported = 2,
+  /// An instance-size guard tripped (exact solvers on oversized inputs).
+  kResourceExhausted = 3,
+  /// The algorithm's precondition on the FD set does not hold
+  /// (e.g. OptSRepair on a set that fails the dichotomy test).
+  kFailedPrecondition = 4,
+  /// A named entity was not found (attribute, tuple identifier, file).
+  kNotFound = 5,
+  /// I/O failure while reading or writing tables.
+  kIoError = 6,
+  /// Internal invariant violation that was recoverable enough to report.
+  kInternal = 7,
+};
+
+/// Returns the canonical lowercase name of a code ("ok", "invalid-argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result without a payload.
+///
+/// Cheap to copy in the success case (single enum); error messages are
+/// heap-allocated only on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T or a failure Status. Modeled on arrow::Result /
+/// absl::StatusOr; the subset used by this codebase.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return table;`.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status: `return Status::InvalidArgument(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK without value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors abort on misuse (accessing the value of an error result);
+  /// call sites must test ok() first, as enforced in tests.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::cerr << "FATAL: StatusOr value access on error status: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Prints `msg` with source location and aborts. Used by the check macros.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+}  // namespace internal
+
+}  // namespace fdrepair
+
+/// Aborts with a diagnostic when `cond` is false. Enabled in all build types:
+/// repair algorithms are correctness-critical and the cost of the checks is
+/// negligible next to the combinatorial work they guard.
+#define FDR_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::fdrepair::internal::CheckFailed(__FILE__, __LINE__,                 \
+                                        "FDR_CHECK failed: " #cond);        \
+    }                                                                       \
+  } while (0)
+
+/// FDR_CHECK with a streamed explanation: FDR_CHECK_MSG(x > 0, "x=" << x).
+#define FDR_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream fdr_check_oss_;                                    \
+      fdr_check_oss_ << "FDR_CHECK failed: " #cond ": " << stream_expr;     \
+      ::fdrepair::internal::CheckFailed(__FILE__, __LINE__,                 \
+                                        fdr_check_oss_.str());              \
+    }                                                                       \
+  } while (0)
+
+/// Propagates an error Status from the current function.
+#define FDR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::fdrepair::Status fdr_status_ = (expr);       \
+    if (!fdr_status_.ok()) return fdr_status_;     \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value:
+///   FDR_ASSIGN_OR_RETURN(auto table, Table::FromCsv(...));
+#define FDR_ASSIGN_OR_RETURN(decl, expr)                        \
+  auto FDR_CONCAT_(fdr_sor_, __LINE__) = (expr);                \
+  if (!FDR_CONCAT_(fdr_sor_, __LINE__).ok())                    \
+    return FDR_CONCAT_(fdr_sor_, __LINE__).status();            \
+  decl = std::move(FDR_CONCAT_(fdr_sor_, __LINE__)).value()
+
+#define FDR_CONCAT_INNER_(a, b) a##b
+#define FDR_CONCAT_(a, b) FDR_CONCAT_INNER_(a, b)
+
+#endif  // FDREPAIR_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string utilities shared across the library: splitting, joining,
+// trimming and printf-free numeric formatting. Kept dependency-free.
+
+#ifndef FDREPAIR_COMMON_STRINGS_H_
+#define FDREPAIR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdrepair {
+
+/// Splits `text` on `sep`, optionally keeping empty fields.
+/// Split("a,,b", ',') == {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace; never yields empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `text` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with up to `precision` significant digits, trimming
+/// trailing zeros ("2", "2.5", "0.0312"). Used by report printers.
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_COMMON_STRINGS_H_

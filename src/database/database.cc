@@ -1,0 +1,76 @@
+#include "database/database.h"
+
+#include <algorithm>
+
+#include "storage/consistency.h"
+
+namespace fdrepair {
+
+Status Database::AddRelation(std::string name, Table table, FdSet fds) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  for (const Relation& relation : relations_) {
+    if (relation.name == name) {
+      return Status::InvalidArgument("duplicate relation name: " + name);
+    }
+  }
+  if (!fds.Attrs().IsSubsetOf(table.schema().AllAttrs())) {
+    return Status::InvalidArgument(
+        "FD set for '" + name + "' mentions attributes outside " +
+        table.schema().ToString());
+  }
+  relations_.push_back(Relation{std::move(name), std::move(table),
+                                std::move(fds)});
+  return Status::OK();
+}
+
+StatusOr<const Relation*> Database::Find(const std::string& name) const {
+  for (const Relation& relation : relations_) {
+    if (relation.name == name) return &relation;
+  }
+  return Status::NotFound("no relation named '" + name + "'");
+}
+
+bool Database::Consistent() const {
+  for (const Relation& relation : relations_) {
+    if (!Satisfies(relation.table, relation.fds)) return false;
+  }
+  return true;
+}
+
+StatusOr<DatabaseSRepairResult> RepairDatabaseSubsets(
+    const Database& database, const SRepairOptions& options) {
+  DatabaseSRepairResult result;
+  result.optimal = true;
+  for (const Relation& relation : database.relations()) {
+    FDR_ASSIGN_OR_RETURN(SRepairResult repaired,
+                         ComputeSRepair(relation.fds, relation.table,
+                                        options));
+    result.total_distance += repaired.distance;
+    result.optimal = result.optimal && repaired.optimal;
+    result.ratio_bound = std::max(result.ratio_bound, repaired.ratio_bound);
+    result.per_relation.emplace_back(relation.name, std::move(repaired));
+  }
+  if (result.optimal) result.ratio_bound = 1;
+  return result;
+}
+
+StatusOr<DatabaseURepairResult> RepairDatabaseUpdates(
+    const Database& database, const URepairOptions& options) {
+  DatabaseURepairResult result;
+  result.optimal = true;
+  for (const Relation& relation : database.relations()) {
+    FDR_ASSIGN_OR_RETURN(URepairResult repaired,
+                         ComputeURepair(relation.fds, relation.table,
+                                        options));
+    result.total_distance += repaired.distance;
+    result.optimal = result.optimal && repaired.optimal;
+    result.ratio_bound = std::max(result.ratio_bound, repaired.ratio_bound);
+    result.per_relation.emplace_back(relation.name, std::move(repaired));
+  }
+  if (result.optimal) result.ratio_bound = 1;
+  return result;
+}
+
+}  // namespace fdrepair

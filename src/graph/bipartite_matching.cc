@@ -1,0 +1,114 @@
+#include "graph/bipartite_matching.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/min_cost_flow.h"
+
+namespace fdrepair {
+
+MatchingResult MaxWeightBipartiteMatching(
+    int num_left, int num_right, const std::vector<BipartiteEdge>& edges) {
+  FDR_CHECK(num_left >= 0 && num_right >= 0);
+  // Collapse duplicates, keeping the heaviest weight per (left, right).
+  std::unordered_map<uint64_t, double> best;
+  for (const BipartiteEdge& edge : edges) {
+    FDR_CHECK_MSG(edge.left >= 0 && edge.left < num_left,
+                  "left=" << edge.left);
+    FDR_CHECK_MSG(edge.right >= 0 && edge.right < num_right,
+                  "right=" << edge.right);
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(edge.left))
+                    << 32) |
+                   static_cast<uint32_t>(edge.right);
+    auto [it, inserted] = best.emplace(key, edge.weight);
+    if (!inserted) it->second = std::max(it->second, edge.weight);
+  }
+
+  // Network: source 0, left nodes 1..num_left, right nodes follow, sink last.
+  const int source = 0;
+  const int sink = num_left + num_right + 1;
+  MinCostFlow flow(sink + 1);
+  for (int u = 0; u < num_left; ++u) flow.AddEdge(source, 1 + u, 1.0, 0.0);
+  for (int v = 0; v < num_right; ++v) {
+    flow.AddEdge(1 + num_left + v, sink, 1.0, 0.0);
+  }
+  struct EdgeRef {
+    int left;
+    int right;
+    double weight;
+    int flow_edge;
+  };
+  std::vector<EdgeRef> refs;
+  refs.reserve(best.size());
+  for (const auto& [key, weight] : best) {
+    int left = static_cast<int>(key >> 32);
+    int right = static_cast<int>(key & 0xffffffffULL);
+    int flow_edge =
+        flow.AddEdge(1 + left, 1 + num_left + right, 1.0, -weight);
+    refs.push_back(EdgeRef{left, right, weight, flow_edge});
+  }
+
+  flow.Solve(source, sink, /*stop_on_nonnegative_path=*/true);
+
+  MatchingResult result;
+  for (const EdgeRef& ref : refs) {
+    if (flow.Flow(ref.flow_edge) > 0.5) {
+      result.pairs.emplace_back(ref.left, ref.right);
+      result.total_weight += ref.weight;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+void BruteForceSearch(const std::vector<BipartiteEdge>& edges, size_t index,
+                      uint64_t used_left, uint64_t used_right, double weight,
+                      std::vector<int>* chosen, double* best_weight,
+                      std::vector<int>* best_chosen) {
+  if (index == edges.size()) {
+    if (weight > *best_weight) {
+      *best_weight = weight;
+      *best_chosen = *chosen;
+    }
+    return;
+  }
+  const BipartiteEdge& edge = edges[index];
+  // Take the edge if both endpoints are free.
+  if (!((used_left >> edge.left) & 1) && !((used_right >> edge.right) & 1)) {
+    chosen->push_back(static_cast<int>(index));
+    BruteForceSearch(edges, index + 1, used_left | (uint64_t{1} << edge.left),
+                     used_right | (uint64_t{1} << edge.right),
+                     weight + edge.weight, chosen, best_weight, best_chosen);
+    chosen->pop_back();
+  }
+  // Skip the edge.
+  BruteForceSearch(edges, index + 1, used_left, used_right, weight, chosen,
+                   best_weight, best_chosen);
+}
+
+}  // namespace
+
+StatusOr<MatchingResult> MaxWeightMatchingBruteForce(
+    int num_left, int num_right, const std::vector<BipartiteEdge>& edges) {
+  if (edges.size() > 20) {
+    return Status::ResourceExhausted(
+        "brute-force matching limited to 20 edges");
+  }
+  if (num_left > 64 || num_right > 64) {
+    return Status::ResourceExhausted(
+        "brute-force matching limited to 64 nodes per side");
+  }
+  double best_weight = 0;
+  std::vector<int> chosen;
+  std::vector<int> best_chosen;
+  BruteForceSearch(edges, 0, 0, 0, 0.0, &chosen, &best_weight, &best_chosen);
+  MatchingResult result;
+  result.total_weight = best_weight;
+  for (int index : best_chosen) {
+    result.pairs.emplace_back(edges[index].left, edges[index].right);
+  }
+  return result;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,45 @@
+// Maximum-weight bipartite matching — the combinatorial core of
+// Subroutine 3 (MarriageRep): nodes are the projections of T onto the two
+// married lhs's, edge weights are optimal sub-repair weights, and the best
+// matching selects which (a1, a2) blocks survive.
+//
+// "Maximum weight" here means over all matchings of any cardinality (all
+// weights are positive in the paper's use, so larger matchings only help,
+// but the solver does not assume positivity).
+
+#ifndef FDREPAIR_GRAPH_BIPARTITE_MATCHING_H_
+#define FDREPAIR_GRAPH_BIPARTITE_MATCHING_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// An edge between left node `left` and right node `right` with weight.
+struct BipartiteEdge {
+  int left;
+  int right;
+  double weight;
+};
+
+struct MatchingResult {
+  /// Chosen edges as (left, right) pairs; no node repeats.
+  std::vector<std::pair<int, int>> pairs;
+  double total_weight = 0;
+};
+
+/// Computes a maximum-weight matching of the bipartite graph with
+/// `num_left` / `num_right` nodes and the given edges. Duplicate edges keep
+/// the heaviest copy. O(V · E · augmentations) via min-cost flow.
+MatchingResult MaxWeightBipartiteMatching(int num_left, int num_right,
+                                          const std::vector<BipartiteEdge>& edges);
+
+/// Exhaustive matching for cross-checking in tests; edges.size() <= 20.
+StatusOr<MatchingResult> MaxWeightMatchingBruteForce(
+    int num_left, int num_right, const std::vector<BipartiteEdge>& edges);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_GRAPH_BIPARTITE_MATCHING_H_

@@ -1,0 +1,23 @@
+#include "graph/conflict_graph.h"
+
+#include "storage/consistency.h"
+
+namespace fdrepair {
+
+NodeWeightedGraph BuildConflictGraph(const TableView& view, const FdSet& fds) {
+  NodeWeightedGraph graph(view.num_tuples());
+  for (int i = 0; i < view.num_tuples(); ++i) {
+    graph.set_weight(i, view.weight(i));
+  }
+  // Row position in the underlying table -> view index.
+  std::unordered_map<int, int> view_index;
+  view_index.reserve(view.num_tuples());
+  for (int i = 0; i < view.num_tuples(); ++i) view_index[view.row(i)] = i;
+  for (const Violation& violation : FindViolations(view, fds)) {
+    graph.AddEdge(view_index.at(violation.row_i),
+                  view_index.at(violation.row_j));
+  }
+  return graph;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,21 @@
+// Conflict graph (§3.1, Proposition 3.3): one node per tuple (weighted by
+// the tuple weight), one edge per pair of tuples that jointly violate some
+// FD. Deleting a vertex cover of this graph yields a consistent subset, and
+// the reduction is strict — the basis of the 2-approximate S-repair.
+
+#ifndef FDREPAIR_GRAPH_CONFLICT_GRAPH_H_
+#define FDREPAIR_GRAPH_CONFLICT_GRAPH_H_
+
+#include "catalog/fdset.h"
+#include "graph/graph.h"
+#include "storage/table_view.h"
+
+namespace fdrepair {
+
+/// Builds the conflict graph of `view` under ∆. Node i corresponds to view
+/// row i and carries that tuple's weight. Worst-case Θ(n²) edges (inherent).
+NodeWeightedGraph BuildConflictGraph(const TableView& view, const FdSet& fds);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_GRAPH_CONFLICT_GRAPH_H_

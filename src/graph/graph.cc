@@ -1,0 +1,83 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace fdrepair {
+
+NodeWeightedGraph::NodeWeightedGraph(int n)
+    : weights_(n, 1.0), adjacency_(n) {
+  FDR_CHECK(n >= 0);
+}
+
+double NodeWeightedGraph::weight(int node) const {
+  FDR_CHECK_MSG(node >= 0 && node < num_nodes(), "node=" << node);
+  return weights_[node];
+}
+
+void NodeWeightedGraph::set_weight(int node, double weight) {
+  FDR_CHECK_MSG(node >= 0 && node < num_nodes(), "node=" << node);
+  FDR_CHECK_MSG(weight > 0, "weight=" << weight);
+  weights_[node] = weight;
+}
+
+uint64_t NodeWeightedGraph::EdgeKey(int u, int v) const {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+void NodeWeightedGraph::AddEdge(int u, int v) {
+  FDR_CHECK_MSG(u >= 0 && u < num_nodes(), "u=" << u);
+  FDR_CHECK_MSG(v >= 0 && v < num_nodes(), "v=" << v);
+  FDR_CHECK_MSG(u != v, "self-loop at node " << u);
+  if (!edge_keys_.insert(EdgeKey(u, v)).second) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+}
+
+bool NodeWeightedGraph::HasEdge(int u, int v) const {
+  if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes() || u == v) {
+    return false;
+  }
+  return edge_keys_.count(EdgeKey(u, v)) > 0;
+}
+
+const std::vector<int>& NodeWeightedGraph::Neighbors(int node) const {
+  FDR_CHECK_MSG(node >= 0 && node < num_nodes(), "node=" << node);
+  return adjacency_[node];
+}
+
+int NodeWeightedGraph::Degree(int node) const {
+  return static_cast<int>(Neighbors(node).size());
+}
+
+int NodeWeightedGraph::MaxDegree() const {
+  int max_degree = 0;
+  for (int v = 0; v < num_nodes(); ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  return max_degree;
+}
+
+double NodeWeightedGraph::WeightOf(const std::vector<int>& nodes) const {
+  double total = 0;
+  for (int node : nodes) total += weight(node);
+  return total;
+}
+
+bool IsVertexCover(const NodeWeightedGraph& graph,
+                   const std::vector<int>& cover) {
+  std::vector<char> in_cover(graph.num_nodes(), 0);
+  for (int node : cover) {
+    if (node < 0 || node >= graph.num_nodes()) return false;
+    in_cover[node] = 1;
+  }
+  for (const auto& [u, v] : graph.edges()) {
+    if (!in_cover[u] && !in_cover[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,62 @@
+// Node-weighted undirected graphs: the shared currency between the conflict
+// graph (tuples + violations), the vertex-cover solvers (Prop 3.3) and the
+// hardness-gadget generators (vertex cover, triangle packing).
+
+#ifndef FDREPAIR_GRAPH_GRAPH_H_
+#define FDREPAIR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// An undirected graph with positive node weights and a simple edge list.
+/// Parallel edges are collapsed; self-loops are rejected.
+class NodeWeightedGraph {
+ public:
+  /// `n` isolated nodes of weight 1.
+  explicit NodeWeightedGraph(int n);
+
+  int num_nodes() const { return static_cast<int>(weights_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  double weight(int node) const;
+  void set_weight(int node, double weight);
+
+  /// Adds edge {u, v} (u != v); duplicate edges are ignored.
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+
+  /// Edges as (u, v) with u < v, in insertion order.
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// Neighbor lists (maintained by AddEdge).
+  const std::vector<int>& Neighbors(int node) const;
+  int Degree(int node) const;
+
+  /// Maximum degree over all nodes (0 for empty graphs).
+  int MaxDegree() const;
+
+  /// Sum of weights of the given nodes.
+  double WeightOf(const std::vector<int>& nodes) const;
+
+ private:
+  uint64_t EdgeKey(int u, int v) const;
+
+  std::vector<double> weights_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::unordered_set<uint64_t> edge_keys_;
+};
+
+/// True iff `cover` (a set of node ids) touches every edge.
+bool IsVertexCover(const NodeWeightedGraph& graph,
+                   const std::vector<int>& cover);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_GRAPH_GRAPH_H_

@@ -1,0 +1,41 @@
+// Weighted vertex cover.
+//
+// Proposition 3.3 reduces optimal S-repairing to weighted vertex cover on
+// the conflict graph and inherits the classic 2-approximation of Bar-Yehuda
+// and Even (local-ratio). The exact solver provides ground truth for the
+// approximation-ratio experiments (E5) and for the gadget equivalences.
+
+#ifndef FDREPAIR_GRAPH_VERTEX_COVER_H_
+#define FDREPAIR_GRAPH_VERTEX_COVER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fdrepair {
+
+/// Bar-Yehuda–Even local-ratio algorithm: for each edge {u, v}, subtract
+/// min(residual(u), residual(v)) from both endpoints; nodes driven to zero
+/// form the cover. Guarantees weight(cover) <= 2 · weight(optimal cover).
+/// Runs in O(n + m). Edge order affects which 2-approximation is returned
+/// (but never the guarantee); pass `edge_order` to ablate (E5).
+std::vector<int> VertexCoverLocalRatio(const NodeWeightedGraph& graph);
+std::vector<int> VertexCoverLocalRatio(const NodeWeightedGraph& graph,
+                                       const std::vector<int>& edge_order);
+
+/// Exact minimum-weight vertex cover by branch and bound (branch on an
+/// uncovered edge; prune on the accumulated weight). Exponential; refuses
+/// graphs with more than `max_nodes` nodes.
+StatusOr<std::vector<int>> MinWeightVertexCoverExact(
+    const NodeWeightedGraph& graph, int max_nodes = 40);
+
+/// Greedily removes redundant nodes from a valid cover (heaviest first);
+/// corresponds to turning a consistent subset into a ⊆-maximal S-repair with
+/// no distance increase (§2.3).
+std::vector<int> MinimizeCover(const NodeWeightedGraph& graph,
+                               std::vector<int> cover);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_GRAPH_VERTEX_COVER_H_

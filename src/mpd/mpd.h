@@ -1,0 +1,62 @@
+// Most Probable Database (§3.4, Theorem 3.10).
+//
+// A probabilistic table is a Table whose weights lie in (0, 1] and are read
+// as independent tuple probabilities. MPD asks for the consistent subset of
+// maximum probability. The reduction to optimal S-repairing:
+//   - certain tuples (p = 1) must all be kept; if they conflict, every
+//     consistent subset has probability 0 and the empty table is returned;
+//   - tuples with p <= 0.5 are dropped outright (removing them never lowers
+//     the probability);
+//   - remaining tuples get weight log(p / (1 - p)) > 0, and a most probable
+//     database is exactly an optimal S-repair of the reweighted table.
+// Consequently the Theorem 3.4 dichotomy transfers: MPD is polynomial iff
+// OSRSucceeds(∆) — settling the open case of Gribkoff et al. for non-unary
+// FDs, including the corrected classification of ∆A↔B→C (Comment 3.11).
+
+#ifndef FDREPAIR_MPD_MPD_H_
+#define FDREPAIR_MPD_MPD_H_
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "srepair/planner.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// Checks weights lie in (0, 1].
+Status ValidateProbabilisticTable(const Table& table);
+
+/// log Pr_T(S) per equation (2): Σ_kept log p + Σ_removed log(1 − p);
+/// −inf when a removed tuple is certain. `kept_rows` are dense positions.
+double SubsetLogProbability(const Table& table,
+                            const std::vector<int>& kept_rows);
+
+struct MpdOptions {
+  /// Strategy for the underlying S-repair. MPD semantics require exactness;
+  /// kAuto still answers exactly on the tractable side and small instances,
+  /// and degrades to a heuristic (not a most probable database) beyond.
+  SRepairStrategy strategy = SRepairStrategy::kExactOnly;
+  int exact_guard = 40;
+};
+
+struct MpdResult {
+  /// The most probable consistent subset (ids/weights from the input).
+  Table database;
+  double log_probability = 0;
+  /// False only when certain tuples conflict (probability 0 everywhere).
+  bool feasible = true;
+};
+
+/// Computes a most probable database of `table` under ∆ via the
+/// Theorem 3.10 reduction.
+StatusOr<MpdResult> MostProbableDatabase(const FdSet& fds, const Table& table,
+                                         const MpdOptions& options = {});
+
+/// Exhaustive MPD over all 2^n subsets; ground truth for tests (n <= 20).
+StatusOr<MpdResult> MostProbableDatabaseBruteForce(const FdSet& fds,
+                                                   const Table& table,
+                                                   int max_rows = 20);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_MPD_MPD_H_

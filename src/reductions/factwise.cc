@@ -1,0 +1,166 @@
+#include "reductions/factwise.h"
+
+namespace fdrepair {
+namespace {
+
+std::string Pair(const std::string& x, const std::string& y) {
+  return "<" + x + "," + y + ">";
+}
+std::string Triple(const std::string& x, const std::string& y,
+                   const std::string& z) {
+  return "<" + x + "," + y + "," + z + ">";
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> MapGadgetTuple(
+    const FdClassification& classification, const FdSet& target_fds,
+    const Schema& target_schema, const std::string& a, const std::string& b,
+    const std::string& c) {
+  const FdSet delta = target_fds.WithoutTrivial();
+  const AttrSet x1 = classification.x1;
+  const AttrSet x2 = classification.x2;
+  const AttrSet cl1 = delta.Closure(x1);
+  const AttrSet cl2 = delta.Closure(x2);
+  const AttrSet hat1 = cl1.Minus(x1);
+  const AttrSet hat2 = cl2.Minus(x2);
+
+  std::vector<std::string> out(target_schema.arity());
+  switch (classification.fd_class) {
+    case 1: {
+      // Lemma A.14 (from ∆A→C←B).
+      for (AttrId k = 0; k < target_schema.arity(); ++k) {
+        if (x1.Contains(k) && x2.Contains(k)) {
+          out[k] = kFactwiseConstant;
+        } else if (x1.Contains(k)) {
+          out[k] = a;
+        } else if (x2.Contains(k)) {
+          out[k] = b;
+        } else if (hat1.Contains(k)) {
+          out[k] = Pair(a, c);
+        } else if (hat2.Contains(k)) {
+          out[k] = Pair(b, c);
+        } else {
+          out[k] = Pair(a, b);
+        }
+      }
+      return out;
+    }
+    case 2:
+    case 3: {
+      // Lemma A.15 (from ∆A→B→C); covers both of its cases.
+      for (AttrId k = 0; k < target_schema.arity(); ++k) {
+        if (x1.Contains(k) && x2.Contains(k)) {
+          out[k] = kFactwiseConstant;
+        } else if (x1.Contains(k)) {
+          out[k] = a;
+        } else if (x2.Contains(k)) {
+          out[k] = b;
+        } else if (hat1.Contains(k) && !cl2.Contains(k)) {
+          out[k] = Pair(a, c);
+        } else if (hat2.Contains(k)) {
+          out[k] = Pair(b, c);
+        } else {
+          out[k] = a;
+        }
+      }
+      return out;
+    }
+    case 4: {
+      // Lemma A.16 (from ∆AB↔AC↔BC); needs the third local minimum.
+      if (!classification.x3) {
+        return Status::InvalidArgument(
+            "class-4 reduction requires a third local minimum");
+      }
+      const AttrSet x3 = *classification.x3;
+      for (AttrId k = 0; k < target_schema.arity(); ++k) {
+        const bool in1 = x1.Contains(k);
+        const bool in2 = x2.Contains(k);
+        const bool in3 = x3.Contains(k);
+        if (in1 && in2 && in3) {
+          out[k] = kFactwiseConstant;
+        } else if (in1 && in2) {
+          out[k] = a;
+        } else if (in1 && in3) {
+          out[k] = b;
+        } else if (in2 && in3) {
+          out[k] = c;
+        } else if (in1) {
+          out[k] = Pair(a, b);
+        } else if (in2) {
+          out[k] = Pair(a, c);
+        } else if (in3) {
+          out[k] = Pair(b, c);
+        } else {
+          out[k] = Triple(a, b, c);
+        }
+      }
+      return out;
+    }
+    case 5: {
+      // Lemma A.17 (from ∆AB→C→B), oriented so (X2 ∖ X1) ⊄ X̂1.
+      for (AttrId k = 0; k < target_schema.arity(); ++k) {
+        const bool in_x2_minus_x1 = x2.Contains(k) && !x1.Contains(k);
+        if (x1.Contains(k) && x2.Contains(k)) {
+          out[k] = kFactwiseConstant;
+        } else if (x1.Contains(k)) {
+          out[k] = c;
+        } else if (in_x2_minus_x1 && hat1.Contains(k)) {
+          out[k] = b;
+        } else if (in_x2_minus_x1) {
+          out[k] = Pair(a, b);
+        } else if (hat1.Contains(k)) {
+          out[k] = Pair(b, c);
+        } else {
+          out[k] = Triple(a, b, c);
+        }
+      }
+      return out;
+    }
+    default:
+      return Status::InvalidArgument("unknown FD class " +
+                                     std::to_string(classification.fd_class));
+  }
+}
+
+StatusOr<Table> ApplyClassReduction(const FdClassification& classification,
+                                    const FdSet& target_fds,
+                                    const Schema& target_schema,
+                                    const Table& source) {
+  if (source.schema().arity() != 3) {
+    return Status::InvalidArgument(
+        "class reductions map from the 3-ary gadget schema R(A, B, C)");
+  }
+  Table out(target_schema);
+  for (int row = 0; row < source.num_tuples(); ++row) {
+    FDR_ASSIGN_OR_RETURN(
+        std::vector<std::string> values,
+        MapGadgetTuple(classification, target_fds, target_schema,
+                       source.ValueText(row, 0), source.ValueText(row, 1),
+                       source.ValueText(row, 2)));
+    FDR_RETURN_IF_ERROR(
+        out.AddTupleWithId(source.id(row), values, source.weight(row)));
+  }
+  return out;
+}
+
+Table ApplyAttributeEliminationReduction(const Table& source,
+                                         AttrSet removed) {
+  Table out(source.schema());
+  ValueId constant = out.Intern(kFactwiseConstant);
+  for (int row = 0; row < source.num_tuples(); ++row) {
+    Tuple tuple(source.schema().arity());
+    for (AttrId attr = 0; attr < source.schema().arity(); ++attr) {
+      tuple[attr] = removed.Contains(attr)
+                        ? constant
+                        : out.Intern(source.ValueText(row, attr));
+    }
+    Status status = out.AddInternedTupleWithId(source.id(row),
+                                               std::move(tuple),
+                                               source.weight(row));
+    FDR_CHECK_MSG(status.ok(), status.ToString());
+  }
+  return out;
+}
+
+}  // namespace fdrepair

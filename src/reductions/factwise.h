@@ -1,0 +1,59 @@
+// Fact-wise reductions (§3.3, Appendix A) as executable tuple mappings.
+//
+// A fact-wise reduction Π from (R, ∆) to (R', ∆') is an injective,
+// polynomial-time tuple mapping that preserves consistency and
+// inconsistency of tuple *pairs* — hence a strict reduction between the
+// optimal-S-repair problems (Lemma 3.7). The paper's hardness side builds Π
+// from one of four gadget schemas over R(A, B, C) into every
+// non-simplifiable FD set, choosing the construction by the Figure-2 class:
+//   class 1 -> Lemma A.14 (from ∆A→C←B),
+//   classes 2,3 -> Lemma A.15 (from ∆A→B→C),
+//   class 4 -> Lemma A.16 (from ∆AB↔AC↔BC),
+//   class 5 -> Lemma A.17 (from ∆AB→C→B),
+// plus the attribute-elimination reduction of Lemma A.18 (from (R, ∆ − X)
+// to (R, ∆)) that chains the simplification steps backwards.
+//
+// Here the mappings run on real tables: gadget values a, b, c are value
+// strings, composite values ⟨a,c⟩ are interned pair-strings, and ⊙ is a
+// reserved constant — so the lemmas become executable and property-testable.
+
+#ifndef FDREPAIR_REDUCTIONS_FACTWISE_H_
+#define FDREPAIR_REDUCTIONS_FACTWISE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "srepair/class_classifier.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// The reserved constant ⊙ used by the constructions.
+inline constexpr const char* kFactwiseConstant = "⊙";
+
+/// Maps a table over the 3-ary gadget schema R(A, B, C) into a table over
+/// `target_schema` under the non-simplifiable `target_fds`, using the
+/// construction matching `classification` (obtained from
+/// ClassifyNonSimplifiable(target_fds)). Identifiers and weights carry over.
+///
+/// Fails (kInvalidArgument) if `source` is not 3-ary or the classification
+/// does not belong to `target_fds`.
+StatusOr<Table> ApplyClassReduction(const FdClassification& classification,
+                                    const FdSet& target_fds,
+                                    const Schema& target_schema,
+                                    const Table& source);
+
+/// Maps one source tuple (values as strings) through the class construction;
+/// exposed for the injectivity / pair-consistency property tests.
+StatusOr<std::vector<std::string>> MapGadgetTuple(
+    const FdClassification& classification, const FdSet& target_fds,
+    const Schema& target_schema, const std::string& a, const std::string& b,
+    const std::string& c);
+
+/// Lemma A.18: the reduction from (R, ∆ − X) to (R, ∆) — every attribute of
+/// `removed` is overwritten with ⊙. Preserves ids and weights.
+Table ApplyAttributeEliminationReduction(const Table& source, AttrSet removed);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_REDUCTIONS_FACTWISE_H_

@@ -1,0 +1,56 @@
+#include "reductions/gadgets.h"
+
+namespace fdrepair {
+namespace {
+
+Schema GadgetSchema() { return Schema::Anonymous(3); }
+
+std::string VertexName(int v) { return "v" + std::to_string(v); }
+
+}  // namespace
+
+Table VertexCoverGadgetTable(const NodeWeightedGraph& graph) {
+  Table table(GadgetSchema());
+  for (const auto& [u, v] : graph.edges()) {
+    table.AddTuple({VertexName(u), VertexName(v), "0"});
+    table.AddTuple({VertexName(v), VertexName(u), "0"});
+  }
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    table.AddTuple({VertexName(v), VertexName(v), "1"});
+  }
+  return table;
+}
+
+ParsedFdSet VertexCoverGadgetFds() {
+  return ParseFdSetInferSchemaOrDie("A -> B; B -> A; B -> C");
+}
+
+Table NonMixedSatGadgetTable(const NonMixedFormula& formula) {
+  Table table(GadgetSchema());
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    const NonMixedFormula::Clause& clause = formula.clauses[c];
+    for (int variable : clause.variables) {
+      table.AddTuple({"c" + std::to_string(c), clause.positive ? "1" : "0",
+                      "x" + std::to_string(variable)});
+    }
+  }
+  return table;
+}
+
+ParsedFdSet NonMixedSatGadgetFds() {
+  return ParseFdSetInferSchemaOrDie("A B -> C; C -> B");
+}
+
+Table TrianglePackingGadgetTable(const std::vector<Triangle>& triangles) {
+  Table table(GadgetSchema());
+  for (const Triangle& triangle : triangles) {
+    table.AddTuple({triangle.a, triangle.b, triangle.c});
+  }
+  return table;
+}
+
+ParsedFdSet TrianglePackingGadgetFds() {
+  return ParseFdSetInferSchemaOrDie("A B -> C; A C -> B; B C -> A");
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,66 @@
+// Hardness-gadget instance generators: the constructions the paper uses to
+// prove APX-hardness, implemented as table builders so the benchmarks can
+// measure the exact combinatorial quantities the proofs equate.
+//
+//  - Vertex cover -> ∆A↔B→C tables (Theorem 4.10 / Appendix B.4):
+//      edge {u,v} -> tuples (u,v,0), (v,u,0); vertex v -> (v,v,1);
+//      optimal U-repair distance = 2|E| + vc(G).
+//  - MAX-non-mixed-SAT -> ∆AB→C→B tables (Lemma A.13):
+//      positive clause c with variable x -> (c, 1, x);
+//      negative clause c with variable x -> (c, 0, x);
+//      max simultaneously satisfiable clauses = optimal S-repair size.
+//  - Edge-disjoint triangle packing -> ∆AB↔AC↔BC tables (Lemma A.11):
+//      triangle (a, b, c) of a tripartite graph -> tuple (a, b, c);
+//      max edge-disjoint triangles = optimal S-repair size.
+//  - Vertex cover -> {A→B, B→C} tables (Kolahi & Lakshmanan's reduction,
+//      recalled in §4.1/Example 4.2): edge {u,v} -> (u, v, 0) and
+//      (v, u, 0); vertex v -> (v, v, 1), mirroring the ∆A↔B→C gadget shape.
+
+#ifndef FDREPAIR_REDUCTIONS_GADGETS_H_
+#define FDREPAIR_REDUCTIONS_GADGETS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/fd_parser.h"
+#include "graph/graph.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// A non-mixed CNF formula: every clause is all-positive or all-negative.
+struct NonMixedFormula {
+  int num_variables = 0;
+  struct Clause {
+    bool positive = true;
+    std::vector<int> variables;  // 0-based
+  };
+  std::vector<Clause> clauses;
+};
+
+/// Builds the Theorem 4.10 gadget table over R(A, B, C) for ∆A↔B→C.
+/// Unweighted, duplicate-free.
+Table VertexCoverGadgetTable(const NodeWeightedGraph& graph);
+
+/// The FD set the vertex-cover gadget targets: {A→B, B→A, B→C}.
+ParsedFdSet VertexCoverGadgetFds();
+
+/// Builds the Lemma A.13 gadget table over R(A, B, C) for ∆AB→C→B.
+Table NonMixedSatGadgetTable(const NonMixedFormula& formula);
+ParsedFdSet NonMixedSatGadgetFds();
+
+/// A triangle in a tripartite graph, by part-local vertex names.
+struct Triangle {
+  std::string a;
+  std::string b;
+  std::string c;
+};
+
+/// Builds the Lemma A.11 gadget table over R(A, B, C) for ∆AB↔AC↔BC:
+/// one tuple per triangle.
+Table TrianglePackingGadgetTable(const std::vector<Triangle>& triangles);
+ParsedFdSet TrianglePackingGadgetFds();
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_REDUCTIONS_GADGETS_H_

@@ -1,0 +1,134 @@
+#include "srepair/class_classifier.h"
+
+#include <sstream>
+
+#include "srepair/simplification.h"
+
+namespace fdrepair {
+
+const char* HardGadgetToString(HardGadget gadget) {
+  switch (gadget) {
+    case HardGadget::kAtoCfromB:
+      return "{A->C, B->C}";
+    case HardGadget::kAtoBtoC:
+      return "{A->B, B->C}";
+    case HardGadget::kTriangle:
+      return "{AB->C, AC->B, BC->A}";
+    case HardGadget::kABtoCtoB:
+      return "{AB->C, C->B}";
+  }
+  return "unknown";
+}
+
+std::string FdClassification::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "class " << fd_class << " (reduction from " <<
+      HardGadgetToString(gadget) << ") with X1=" << schema.NamesOf(x1)
+     << ", X2=" << schema.NamesOf(x2);
+  if (x3) os << ", X3=" << schema.NamesOf(*x3);
+  return os.str();
+}
+
+StatusOr<FdClassification> ClassifyNonSimplifiable(const FdSet& fds) {
+  SimplificationStep step = NextSimplification(fds);
+  if (step.kind != SimplificationKind::kStuck) {
+    return Status::FailedPrecondition(
+        "ClassifyNonSimplifiable requires a stuck FD set; got a set that "
+        "simplifies via " +
+        std::string(SimplificationKindToString(step.kind)));
+  }
+  const FdSet delta = step.before;  // trivial FDs removed
+
+  // A stuck set is not a chain (Lemma A.22), so it has at least two local
+  // minima with distinct lhs's. Pick the first such pair in canonical order.
+  std::vector<Fd> minima = delta.LocalMinima();
+  std::vector<AttrSet> lhss;
+  for (const Fd& fd : minima) {
+    bool seen = false;
+    for (const AttrSet& lhs : lhss) {
+      if (lhs == fd.lhs) seen = true;
+    }
+    if (!seen) lhss.push_back(fd.lhs);
+  }
+  if (lhss.size() < 2) {
+    return Status::Internal(
+        "stuck FD set with fewer than two distinct local minima: " +
+        delta.ToString());
+  }
+  const AttrSet x1 = lhss[0];
+  const AttrSet x2 = lhss[1];
+  const AttrSet hat1 = delta.Closure(x1).Minus(x1);  // X̂1
+  const AttrSet hat2 = delta.Closure(x2).Minus(x2);  // X̂2
+
+  FdClassification out;
+  const bool hat1_meets_x2 = hat1.Intersects(x2);
+  const bool hat2_meets_x1 = hat2.Intersects(x1);
+
+  if (!hat2_meets_x1 && !hat1_meets_x2) {
+    if (!hat1.Intersects(hat2)) {
+      // Class 1: X̂1 ∩ cl(X2) = ∅ and X̂2 ∩ cl(X1) = ∅ (Lemma A.14).
+      out.fd_class = 1;
+      out.gadget = HardGadget::kAtoCfromB;
+      out.x1 = x1;
+      out.x2 = x2;
+      return out;
+    }
+    // Class 2: closures overlap outside the lhs's (Lemma A.15, case 1).
+    out.fd_class = 2;
+    out.gadget = HardGadget::kAtoBtoC;
+    out.x1 = x1;
+    out.x2 = x2;
+    return out;
+  }
+  if (hat1_meets_x2 && !hat2_meets_x1) {
+    // Class 3 (Lemma A.15, case 2) with roles as discovered.
+    out.fd_class = 3;
+    out.gadget = HardGadget::kAtoBtoC;
+    out.x1 = x1;
+    out.x2 = x2;
+    return out;
+  }
+  if (!hat1_meets_x2 && hat2_meets_x1) {
+    // Class 3 with the roles swapped so that X̂1 ∩ X2 ≠ ∅, X̂2 ∩ X1 = ∅.
+    out.fd_class = 3;
+    out.gadget = HardGadget::kAtoBtoC;
+    out.x1 = x2;
+    out.x2 = x1;
+    return out;
+  }
+
+  // Both intersections nonempty.
+  const bool x2_minus_x1_in_hat1 = x2.Minus(x1).IsSubsetOf(hat1);
+  const bool x1_minus_x2_in_hat2 = x1.Minus(x2).IsSubsetOf(hat2);
+  if (!x2_minus_x1_in_hat1) {
+    // Class 5 oriented as Lemma A.17 expects: (X2 ∖ X1) ⊄ X̂1.
+    out.fd_class = 5;
+    out.gadget = HardGadget::kABtoCtoB;
+    out.x1 = x1;
+    out.x2 = x2;
+    return out;
+  }
+  if (!x1_minus_x2_in_hat2) {
+    out.fd_class = 5;
+    out.gadget = HardGadget::kABtoCtoB;
+    out.x1 = x2;
+    out.x2 = x1;
+    return out;
+  }
+
+  // Class 4: both containments hold; the set must contain a third local
+  // minimum (otherwise a common lhs or an lhs marriage would exist and ∆
+  // would not be stuck — Lemma A.22).
+  for (size_t i = 2; i < lhss.size(); ++i) {
+    out.fd_class = 4;
+    out.gadget = HardGadget::kTriangle;
+    out.x1 = x1;
+    out.x2 = x2;
+    out.x3 = lhss[i];
+    return out;
+  }
+  return Status::Internal(
+      "class-4 FD set without a third local minimum: " + delta.ToString());
+}
+
+}  // namespace fdrepair

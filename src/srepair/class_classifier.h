@@ -1,0 +1,55 @@
+// The Figure-2 classifier: every non-simplifiable FD set falls into one of
+// five classes, determined by the interaction of two (or three) local minima
+// X1 → Y1, X2 → Y2 and the sets X̂i = cl∆(Xi) ∖ Xi (§3.3 Step 3,
+// Lemma A.22). Each class admits a fact-wise reduction from one of the four
+// APX-hard gadget schemas of Table 1 — realized in reductions/factwise.h.
+
+#ifndef FDREPAIR_SREPAIR_CLASS_CLASSIFIER_H_
+#define FDREPAIR_SREPAIR_CLASS_CLASSIFIER_H_
+
+#include <optional>
+#include <string>
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// The gadget schema (Table 1) whose hardness transfers to the class.
+enum class HardGadget {
+  /// ∆A→C←B = {A → C, B → C}  (class 1; Lemma A.14)
+  kAtoCfromB,
+  /// ∆A→B→C = {A → B, B → C}  (classes 2, 3; Lemma A.15)
+  kAtoBtoC,
+  /// ∆AB↔AC↔BC = {AB → C, AC → B, BC → A}  (class 4; Lemma A.16)
+  kTriangle,
+  /// ∆AB→C→B = {AB → C, C → B}  (class 5; Lemma A.17)
+  kABtoCtoB,
+};
+
+const char* HardGadgetToString(HardGadget gadget);
+
+/// Result of classifying a non-simplifiable ∆.
+struct FdClassification {
+  /// Class number 1..5 per Figure 2 / Example 3.8.
+  int fd_class = 0;
+  HardGadget gadget = HardGadget::kAtoCfromB;
+  /// The local minima witnessing the class, ordered as the corresponding
+  /// lemma expects them (x1 and x2 may be swapped relative to discovery).
+  AttrSet x1;
+  AttrSet x2;
+  /// For class 4: a third local minimum's lhs.
+  std::optional<AttrSet> x3;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Classifies a non-simplifiable FD set (no trivial FDs, no common lhs, no
+/// consensus FD, no lhs marriage, nontrivial). Fails with
+/// kFailedPrecondition when ∆ is simplifiable or trivial — classification
+/// only makes sense on the residual sets produced by a stuck OSRSucceeds.
+StatusOr<FdClassification> ClassifyNonSimplifiable(const FdSet& fds);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SREPAIR_CLASS_CLASSIFIER_H_

@@ -1,0 +1,155 @@
+#include "srepair/opt_srepair.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/bipartite_matching.h"
+#include "srepair/osr_succeeds.h"
+#include "srepair/simplification.h"
+
+namespace fdrepair {
+namespace {
+
+// Recursive body of Algorithm 1. Appends the kept dense row positions to
+// `kept` and adds their total weight to `kept_weight`.
+Status Recurse(const FdSet& fds, const TableView& view, std::vector<int>* kept,
+               double* kept_weight) {
+  if (view.empty()) return Status::OK();
+
+  SimplificationStep step = NextSimplification(fds);
+  switch (step.kind) {
+    case SimplificationKind::kTrivialTermination: {
+      // Line 2: ∆ trivial — T is its own optimal S-repair.
+      for (int i = 0; i < view.num_tuples(); ++i) {
+        kept->push_back(view.row(i));
+        *kept_weight += view.weight(i);
+      }
+      return Status::OK();
+    }
+    case SimplificationKind::kCommonLhs: {
+      // Subroutine 1: group by the common lhs attribute and take the union
+      // of the groups' optimal S-repairs under ∆ − A. Tuples in different
+      // groups disagree on A ∈ lhs of every FD, so the union is consistent.
+      for (const TableView& group : view.GroupBy(step.removed)) {
+        FDR_RETURN_IF_ERROR(Recurse(step.after, group, kept, kept_weight));
+      }
+      return Status::OK();
+    }
+    case SimplificationKind::kConsensus: {
+      // Subroutine 2: all surviving tuples must agree on A, so solve each
+      // A-group independently and keep only the heaviest repair.
+      std::vector<int> best_rows;
+      double best_weight = -1;
+      for (const TableView& group : view.GroupBy(step.removed)) {
+        std::vector<int> group_rows;
+        double group_weight = 0;
+        FDR_RETURN_IF_ERROR(
+            Recurse(step.after, group, &group_rows, &group_weight));
+        if (group_weight > best_weight) {
+          best_weight = group_weight;
+          best_rows = std::move(group_rows);
+        }
+      }
+      if (best_weight > 0) {
+        kept->insert(kept->end(), best_rows.begin(), best_rows.end());
+        *kept_weight += best_weight;
+      }
+      return Status::OK();
+    }
+    case SimplificationKind::kLhsMarriage: {
+      // Subroutine 3. Blocks are the distinct (a1, a2) ∈ π_{X1X2}T; each
+      // solved under ∆ − X1X2. A consistent subset may keep, for any X1
+      // value, tuples of at most one X2 value and vice versa (cl(X1) =
+      // cl(X2) ⊇ X1X2), so block selection is a bipartite matching between
+      // π_X1 T and π_X2 T, maximizing kept weight.
+      const AttrSet x1 = step.marriage_x1;
+      const AttrSet x2 = step.marriage_x2;
+
+      struct Block {
+        std::vector<int> rows;
+        double weight = 0;
+        int left = -1;
+        int right = -1;
+      };
+      std::vector<TableView> groups = view.GroupBy(x1.Union(x2));
+      std::vector<Block> blocks(groups.size());
+      std::unordered_map<ProjectionKey, int, ProjectionKeyHash> left_index;
+      std::unordered_map<ProjectionKey, int, ProjectionKeyHash> right_index;
+      for (size_t b = 0; b < groups.size(); ++b) {
+        FDR_RETURN_IF_ERROR(Recurse(step.after, groups[b], &blocks[b].rows,
+                                    &blocks[b].weight));
+        const Tuple& witness = groups[b].tuple(0);
+        ProjectionKey key1 = ProjectTuple(witness, x1);
+        ProjectionKey key2 = ProjectTuple(witness, x2);
+        auto [it1, inserted1] =
+            left_index.emplace(std::move(key1),
+                               static_cast<int>(left_index.size()));
+        auto [it2, inserted2] =
+            right_index.emplace(std::move(key2),
+                                static_cast<int>(right_index.size()));
+        blocks[b].left = it1->second;
+        blocks[b].right = it2->second;
+      }
+      std::vector<BipartiteEdge> edges;
+      edges.reserve(blocks.size());
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        edges.push_back(BipartiteEdge{blocks[b].left, blocks[b].right,
+                                      blocks[b].weight});
+      }
+      MatchingResult matching = MaxWeightBipartiteMatching(
+          static_cast<int>(left_index.size()),
+          static_cast<int>(right_index.size()), edges);
+      // Blocks are keyed by their unique (left, right) pair.
+      std::unordered_map<uint64_t, const Block*> block_of;
+      for (const Block& block : blocks) {
+        uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(block.left)) << 32) |
+            static_cast<uint32_t>(block.right);
+        block_of[key] = &block;
+      }
+      for (const auto& [left, right] : matching.pairs) {
+        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(left))
+                        << 32) |
+                       static_cast<uint32_t>(right);
+        const Block* block = block_of.at(key);
+        kept->insert(kept->end(), block->rows.begin(), block->rows.end());
+        *kept_weight += block->weight;
+      }
+      return Status::OK();
+    }
+    case SimplificationKind::kStuck: {
+      return Status::FailedPrecondition(
+          "OptSRepair fails: FD set is not simplifiable (computing an "
+          "optimal S-repair is APX-complete for it): " +
+          step.before.ToString());
+    }
+  }
+  return Status::Internal("unreachable simplification kind");
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view) {
+  // §3.2: "the success or failure of OptSRepair(∆, T) depends only on ∆,
+  // and not on T" — enforce that by running Algorithm 2 up front, so small
+  // or empty tables cannot mask a non-simplifiable ∆.
+  if (!OsrSucceeds(fds)) {
+    return Status::FailedPrecondition(
+        "OptSRepair fails: OSRSucceeds is false for ∆ = " + fds.ToString() +
+        " (computing an optimal S-repair is APX-complete; Theorem 3.4)");
+  }
+  std::vector<int> kept;
+  double kept_weight = 0;
+  FDR_RETURN_IF_ERROR(Recurse(fds, view, &kept, &kept_weight));
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table) {
+  FDR_ASSIGN_OR_RETURN(std::vector<int> rows,
+                       OptSRepairRows(fds, TableView(table)));
+  return table.SubsetByRows(rows);
+}
+
+}  // namespace fdrepair

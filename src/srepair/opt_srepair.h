@@ -1,0 +1,41 @@
+// OptSRepair (Algorithm 1): the polynomial-time optimal subset repair for
+// every FD set on the tractable side of the Theorem 3.4 dichotomy.
+//
+// The algorithm repeatedly simplifies (∆, T):
+//   - trivial ∆: T itself is the optimal S-repair;
+//   - common lhs A: solve each σ_{A=a}T under ∆ − A and union
+//     (Subroutine 1, CommonLHSRep);
+//   - consensus FD ∅ → A: solve each σ_{A=a}T under ∆ − A and keep the
+//     heaviest (Subroutine 2, ConsensusRep);
+//   - lhs marriage (X1, X2): solve every block σ_{X1=a1,X2=a2}T under
+//     ∆ − X1X2, then pick blocks by a maximum-weight bipartite matching
+//     between π_X1 T and π_X2 T (Subroutine 3, MarriageRep);
+//   - otherwise fail (the problem is APX-complete; Theorem 3.4).
+//
+// Weighted tuples and duplicates are fully supported (Theorem 3.2).
+
+#ifndef FDREPAIR_SREPAIR_OPT_SREPAIR_H_
+#define FDREPAIR_SREPAIR_OPT_SREPAIR_H_
+
+#include <vector>
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/table_view.h"
+
+namespace fdrepair {
+
+/// Runs Algorithm 1 on a view; returns the dense row positions (into the
+/// underlying table) of an optimal S-repair, in increasing order.
+/// Fails with kFailedPrecondition iff OSRSucceeds(∆) is false.
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view);
+
+/// Convenience: materializes the optimal S-repair of `table` as a Table
+/// (identifiers and weights preserved).
+StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SREPAIR_OPT_SREPAIR_H_

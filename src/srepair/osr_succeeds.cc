@@ -1,0 +1,38 @@
+#include "srepair/osr_succeeds.h"
+
+#include <sstream>
+
+namespace fdrepair {
+
+OsrTrace RunOsrSucceeds(const FdSet& fds) {
+  OsrTrace trace;
+  FdSet current = fds;
+  while (true) {
+    SimplificationStep step = NextSimplification(current);
+    trace.steps.push_back(step);
+    if (step.kind == SimplificationKind::kTrivialTermination) {
+      trace.succeeds = true;
+      return trace;
+    }
+    if (step.kind == SimplificationKind::kStuck) {
+      trace.succeeds = false;
+      trace.stuck_fds = step.before;
+      return trace;
+    }
+    current = step.after;
+  }
+}
+
+bool OsrSucceeds(const FdSet& fds) { return RunOsrSucceeds(fds).succeeds; }
+
+std::string OsrTrace::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (const SimplificationStep& step : steps) {
+    os << step.ToString(schema) << "\n";
+  }
+  os << (succeeds ? "=> OSRSucceeds: true (polynomial-time optimal S-repair)"
+                  : "=> OSRSucceeds: false (APX-complete)");
+  return os.str();
+}
+
+}  // namespace fdrepair

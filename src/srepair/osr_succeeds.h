@@ -1,0 +1,37 @@
+// OSRSucceeds (Algorithm 2): the effective dichotomy test of Theorem 3.4.
+// Simplifies ∆ by common-lhs / consensus / lhs-marriage until it is trivial
+// (OptSRepair will succeed: polynomial side) or stuck (APX-complete side).
+// Runs in polynomial time in |∆|.
+
+#ifndef FDREPAIR_SREPAIR_OSR_SUCCEEDS_H_
+#define FDREPAIR_SREPAIR_OSR_SUCCEEDS_H_
+
+#include <string>
+#include <vector>
+
+#include "srepair/simplification.h"
+
+namespace fdrepair {
+
+/// The full outcome of Algorithm 2, with the simplification chain
+/// (Example 3.5 prints exactly these chains).
+struct OsrTrace {
+  bool succeeds = false;
+  /// Every applied step, ending with kTrivialTermination or kStuck.
+  std::vector<SimplificationStep> steps;
+  /// For failures: the non-simplifiable residual FD set.
+  FdSet stuck_fds;
+
+  /// Multi-line rendering of the chain with schema names.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Runs Algorithm 2 and records the trace.
+OsrTrace RunOsrSucceeds(const FdSet& fds);
+
+/// The boolean answer only.
+bool OsrSucceeds(const FdSet& fds);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SREPAIR_OSR_SUCCEEDS_H_

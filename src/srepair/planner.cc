@@ -1,0 +1,95 @@
+#include "srepair/planner.h"
+
+#include <sstream>
+
+#include "srepair/opt_srepair.h"
+#include "srepair/srepair_exact.h"
+#include "srepair/srepair_vc_approx.h"
+
+namespace fdrepair {
+
+std::string SRepairVerdict::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << trace.ToString(schema);
+  if (hard_class) {
+    os << "\nhard side: " << hard_class->ToString(schema);
+  }
+  return os.str();
+}
+
+SRepairVerdict ClassifySRepair(const FdSet& fds) {
+  SRepairVerdict verdict;
+  verdict.trace = RunOsrSucceeds(fds);
+  verdict.polynomial = verdict.trace.succeeds;
+  if (!verdict.polynomial) {
+    auto classification = ClassifyNonSimplifiable(verdict.trace.stuck_fds);
+    // Stuck residuals always classify (Lemma A.22); a failure here would be
+    // an internal bug, surfaced loudly by tests but tolerated in release.
+    if (classification.ok()) {
+      verdict.hard_class = *classification;
+    }
+  }
+  return verdict;
+}
+
+const char* SRepairAlgorithmToString(SRepairAlgorithm algorithm) {
+  switch (algorithm) {
+    case SRepairAlgorithm::kOptSRepair:
+      return "OptSRepair";
+    case SRepairAlgorithm::kExactBranchAndBound:
+      return "exact-branch-and-bound";
+    case SRepairAlgorithm::kVertexCover2Approx:
+      return "vertex-cover-2-approx";
+  }
+  return "unknown";
+}
+
+StatusOr<SRepairResult> ComputeSRepair(const FdSet& fds, const Table& table,
+                                       const SRepairOptions& options) {
+  SRepairVerdict verdict = ClassifySRepair(fds);
+
+  auto finish = [&](Table repair, bool optimal, double ratio,
+                    SRepairAlgorithm algorithm) -> StatusOr<SRepairResult> {
+    FDR_ASSIGN_OR_RETURN(double distance, DistSub(repair, table));
+    SRepairResult result{std::move(repair), distance, optimal, ratio,
+                         algorithm, verdict};
+    return result;
+  };
+
+  switch (options.strategy) {
+    case SRepairStrategy::kApproxOnly:
+      return finish(SRepairVcApprox(fds, table), false, 2.0,
+                    SRepairAlgorithm::kVertexCover2Approx);
+    case SRepairStrategy::kExactOnly: {
+      if (verdict.polynomial) {
+        FDR_ASSIGN_OR_RETURN(Table repair, OptSRepair(fds, table));
+        return finish(std::move(repair), true, 1.0,
+                      SRepairAlgorithm::kOptSRepair);
+      }
+      FDR_ASSIGN_OR_RETURN(Table repair,
+                           OptSRepairExact(fds, table, options.exact_guard));
+      return finish(std::move(repair), true, 1.0,
+                    SRepairAlgorithm::kExactBranchAndBound);
+    }
+    case SRepairStrategy::kAuto: {
+      if (verdict.polynomial) {
+        FDR_ASSIGN_OR_RETURN(Table repair, OptSRepair(fds, table));
+        return finish(std::move(repair), true, 1.0,
+                      SRepairAlgorithm::kOptSRepair);
+      }
+      auto exact = OptSRepairExact(fds, table, options.exact_guard);
+      if (exact.ok()) {
+        return finish(std::move(exact).value(), true, 1.0,
+                      SRepairAlgorithm::kExactBranchAndBound);
+      }
+      if (exact.status().code() != StatusCode::kResourceExhausted) {
+        return exact.status();
+      }
+      return finish(SRepairVcApprox(fds, table), false, 2.0,
+                    SRepairAlgorithm::kVertexCover2Approx);
+    }
+  }
+  return Status::Internal("unreachable strategy");
+}
+
+}  // namespace fdrepair

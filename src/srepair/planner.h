@@ -1,0 +1,82 @@
+// SRepairPlanner: the user-facing facade for subset repairing.
+//
+// Like a query planner, it first classifies (Schema, ∆) — the dichotomy of
+// Theorem 3.4, with the full simplification trace and, on the hard side, the
+// Figure-2 class — then picks an execution route:
+//   polynomial side  -> OptSRepair (optimal);
+//   hard side, small -> exact branch & bound (optimal, exponential);
+//   hard side, large -> local-ratio vertex cover (2-optimal, Prop 3.3).
+
+#ifndef FDREPAIR_SREPAIR_PLANNER_H_
+#define FDREPAIR_SREPAIR_PLANNER_H_
+
+#include <optional>
+#include <string>
+
+#include "srepair/class_classifier.h"
+#include "srepair/osr_succeeds.h"
+#include "storage/distance.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// The data-complexity verdict for computing an optimal S-repair under ∆.
+struct SRepairVerdict {
+  /// True: polynomial time (OptSRepair succeeds). False: APX-complete.
+  bool polynomial = false;
+  /// The Algorithm-2 run backing the verdict.
+  OsrTrace trace;
+  /// On the hard side: the Figure-2 class of the stuck residual set.
+  std::optional<FdClassification> hard_class;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Classifies ∆ (Theorem 3.4 + Figure 2). Pure function of the FD set.
+SRepairVerdict ClassifySRepair(const FdSet& fds);
+
+/// Execution strategy selection.
+enum class SRepairStrategy {
+  /// OptSRepair when polynomial, else exact if small enough, else approx.
+  kAuto,
+  /// Insist on an optimum (fails on large hard instances).
+  kExactOnly,
+  /// Always run the 2-approximation (even on the polynomial side).
+  kApproxOnly,
+};
+
+struct SRepairOptions {
+  SRepairStrategy strategy = SRepairStrategy::kAuto;
+  /// kAuto falls back from exact to approximate above this many conflicted
+  /// tuples on the hard side.
+  int exact_guard = 40;
+};
+
+/// Which algorithm actually produced a repair.
+enum class SRepairAlgorithm {
+  kOptSRepair,
+  kExactBranchAndBound,
+  kVertexCover2Approx,
+};
+
+const char* SRepairAlgorithmToString(SRepairAlgorithm algorithm);
+
+struct SRepairResult {
+  Table repair;
+  /// dist_sub(repair, T).
+  double distance = 0;
+  /// True iff `repair` is provably an *optimal* S-repair.
+  bool optimal = false;
+  /// Upper bound on distance / optimal distance (1 when optimal, else 2).
+  double ratio_bound = 1;
+  SRepairAlgorithm algorithm = SRepairAlgorithm::kOptSRepair;
+  SRepairVerdict verdict;
+};
+
+/// Plans and executes a subset repair of `table` under ∆.
+StatusOr<SRepairResult> ComputeSRepair(const FdSet& fds, const Table& table,
+                                       const SRepairOptions& options = {});
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SREPAIR_PLANNER_H_

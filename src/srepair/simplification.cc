@@ -1,0 +1,72 @@
+#include "srepair/simplification.h"
+
+#include <sstream>
+
+namespace fdrepair {
+
+const char* SimplificationKindToString(SimplificationKind kind) {
+  switch (kind) {
+    case SimplificationKind::kTrivialTermination:
+      return "trivial";
+    case SimplificationKind::kCommonLhs:
+      return "common lhs";
+    case SimplificationKind::kConsensus:
+      return "consensus";
+    case SimplificationKind::kLhsMarriage:
+      return "lhs marriage";
+    case SimplificationKind::kStuck:
+      return "stuck";
+  }
+  return "unknown";
+}
+
+std::string SimplificationStep::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "(" << SimplificationKindToString(kind);
+  if (kind == SimplificationKind::kCommonLhs ||
+      kind == SimplificationKind::kConsensus) {
+    os << " " << schema.NamesOf(removed);
+  } else if (kind == SimplificationKind::kLhsMarriage) {
+    os << " (" << schema.NamesOf(marriage_x1) << ", "
+       << schema.NamesOf(marriage_x2) << ")";
+  }
+  os << ") {" << before.ToString(schema) << "} => {" << after.ToString(schema)
+     << "}";
+  return os.str();
+}
+
+SimplificationStep NextSimplification(const FdSet& fds) {
+  SimplificationStep step;
+  step.before = fds.WithoutTrivial();
+
+  if (step.before.IsTrivial()) {
+    step.kind = SimplificationKind::kTrivialTermination;
+    step.after = step.before;
+    return step;
+  }
+  if (auto common = step.before.FindCommonLhsAttr()) {
+    step.kind = SimplificationKind::kCommonLhs;
+    step.removed = AttrSet::Singleton(*common);
+    step.after = step.before.MinusAttrs(step.removed);
+    return step;
+  }
+  if (auto consensus = step.before.FindConsensusFd()) {
+    step.kind = SimplificationKind::kConsensus;
+    step.removed = AttrSet::Singleton(consensus->rhs);
+    step.after = step.before.MinusAttrs(step.removed);
+    return step;
+  }
+  if (auto marriage = step.before.FindLhsMarriage()) {
+    step.kind = SimplificationKind::kLhsMarriage;
+    step.marriage_x1 = marriage->x1;
+    step.marriage_x2 = marriage->x2;
+    step.removed = marriage->x1.Union(marriage->x2);
+    step.after = step.before.MinusAttrs(step.removed);
+    return step;
+  }
+  step.kind = SimplificationKind::kStuck;
+  step.after = step.before;
+  return step;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,54 @@
+// The three FD-set simplifications driving both Algorithm 1 (OptSRepair)
+// and Algorithm 2 (OSRSucceeds): common lhs, consensus FD, lhs marriage —
+// applied in exactly that priority order, after removing trivial FDs.
+
+#ifndef FDREPAIR_SREPAIR_SIMPLIFICATION_H_
+#define FDREPAIR_SREPAIR_SIMPLIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/fdset.h"
+
+namespace fdrepair {
+
+/// Which rule fired (or that none applies).
+enum class SimplificationKind {
+  /// ∆ became trivial: successful termination.
+  kTrivialTermination,
+  /// A common lhs attribute A was removed: ∆ := ∆ − A (Subroutine 1).
+  kCommonLhs,
+  /// A consensus FD ∅ → A was consumed: ∆ := ∆ − A (Subroutine 2).
+  kConsensus,
+  /// An lhs marriage (X1, X2) was consumed: ∆ := ∆ − X1X2 (Subroutine 3).
+  kLhsMarriage,
+  /// No rule applies and ∆ is nontrivial: the dichotomy's hard side.
+  kStuck,
+};
+
+const char* SimplificationKindToString(SimplificationKind kind);
+
+/// One step of the simplification chain (the chains printed in Example 3.5).
+struct SimplificationStep {
+  SimplificationKind kind = SimplificationKind::kStuck;
+  /// Attributes removed from ∆ by this step (empty for termination/stuck).
+  AttrSet removed;
+  /// For kLhsMarriage: the married pair; otherwise empty sets.
+  AttrSet marriage_x1;
+  AttrSet marriage_x2;
+  /// ∆ before (trivial FDs already dropped) and after the step.
+  FdSet before;
+  FdSet after;
+
+  /// "common lhs A: {A -> B; ...} => {B -> ...}" with schema names.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Computes the next applicable rule for ∆ per Algorithm 1's order.
+/// Trivial FDs are removed from the reported `before` set first; the caller
+/// should continue from `after`.
+SimplificationStep NextSimplification(const FdSet& fds);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SREPAIR_SIMPLIFICATION_H_

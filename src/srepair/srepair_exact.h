@@ -1,0 +1,36 @@
+// Exact optimal S-repair for *any* FD set.
+//
+// FD satisfaction is a pairwise property, so consistent subsets of T are
+// exactly the independent sets of the conflict graph, and an optimal
+// S-repair is the complement of a minimum-weight vertex cover (the strict
+// reduction behind Proposition 3.3, run in the exact direction). On the hard
+// side of the dichotomy this is inherently exponential — it serves as ground
+// truth for property tests and for the approximation-ratio experiments, and
+// as the exponential baseline whose blowup E2 charts against OptSRepair.
+
+#ifndef FDREPAIR_SREPAIR_SREPAIR_EXACT_H_
+#define FDREPAIR_SREPAIR_SREPAIR_EXACT_H_
+
+#include <vector>
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/table_view.h"
+
+namespace fdrepair {
+
+/// Exact optimal S-repair by branch and bound on the conflict graph.
+/// Refuses instances whose conflict graph has more than `max_conflict_nodes`
+/// non-isolated nodes (kResourceExhausted). Returns kept dense rows sorted.
+StatusOr<std::vector<int>> OptSRepairExactRows(const FdSet& fds,
+                                               const TableView& view,
+                                               int max_conflict_nodes = 64);
+
+/// Materialized wrapper.
+StatusOr<Table> OptSRepairExact(const FdSet& fds, const Table& table,
+                                int max_conflict_nodes = 64);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SREPAIR_SREPAIR_EXACT_H_

@@ -1,0 +1,144 @@
+#include "srepair/srepair_vc_approx.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/conflict_graph.h"
+#include "graph/vertex_cover.h"
+#include "storage/consistency.h"
+
+namespace fdrepair {
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+std::vector<int> RestoreConsistentRows(const FdSet& fds, const TableView& view,
+                                       std::vector<int> kept_rows) {
+  // Per-FD map: lhs projection -> the unique rhs value of the kept set.
+  std::vector<std::unordered_map<ProjectionKey, ValueId, ProjectionKeyHash>>
+      rhs_of(fds.size());
+  std::vector<char> kept(view.table().num_tuples(), 0);
+  for (int row : kept_rows) kept[row] = 1;
+
+  auto admits = [&](const Tuple& tuple) {
+    for (int f = 0; f < fds.size(); ++f) {
+      const Fd& fd = fds.fds()[f];
+      if (fd.IsTrivial()) continue;
+      auto it = rhs_of[f].find(ProjectTuple(tuple, fd.lhs));
+      if (it != rhs_of[f].end() && it->second != tuple[fd.rhs]) return false;
+    }
+    return true;
+  };
+  auto admit = [&](const Tuple& tuple) {
+    for (int f = 0; f < fds.size(); ++f) {
+      const Fd& fd = fds.fds()[f];
+      if (fd.IsTrivial()) continue;
+      rhs_of[f].emplace(ProjectTuple(tuple, fd.lhs), tuple[fd.rhs]);
+    }
+  };
+
+  for (int i = 0; i < view.num_tuples(); ++i) {
+    if (kept[view.row(i)]) admit(view.tuple(i));
+  }
+  // Candidates to restore, heaviest first (ties by view order for
+  // determinism).
+  std::vector<int> candidates;
+  for (int i = 0; i < view.num_tuples(); ++i) {
+    if (!kept[view.row(i)]) candidates.push_back(i);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](int a, int b) { return view.weight(a) > view.weight(b); });
+  for (int i : candidates) {
+    if (admits(view.tuple(i))) {
+      admit(view.tuple(i));
+      kept[view.row(i)] = 1;
+    }
+  }
+  std::vector<int> out;
+  for (int i = 0; i < view.num_tuples(); ++i) {
+    if (kept[view.row(i)]) out.push_back(view.row(i));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view) {
+  // residual[i] tracks the local-ratio budget of view row i.
+  std::vector<double> residual(view.num_tuples());
+  for (int i = 0; i < view.num_tuples(); ++i) residual[i] = view.weight(i);
+  auto alive = [&](int i) { return residual[i] > kEps; };
+
+  for (const Fd& fd : fds.fds()) {
+    if (fd.IsTrivial()) continue;
+    // lhs group -> rhs subgroups (complete multipartite conflicts).
+    std::unordered_map<ProjectionKey, std::unordered_map<ValueId, std::vector<int>>,
+                       ProjectionKeyHash>
+        groups;
+    for (int i = 0; i < view.num_tuples(); ++i) {
+      if (!alive(i)) continue;
+      groups[ProjectTuple(view.tuple(i), fd.lhs)][view.value(i, fd.rhs)]
+          .push_back(i);
+    }
+    for (auto& [lhs_key, by_rhs] : groups) {
+      if (by_rhs.size() < 2) continue;
+      // Collect subgroups with cursors; each local-ratio step kills at
+      // least one tuple, so total work is linear in the group size.
+      std::vector<std::vector<int>*> subgroups;
+      subgroups.reserve(by_rhs.size());
+      for (auto& [rhs_value, members] : by_rhs) subgroups.push_back(&members);
+      std::vector<size_t> cursor(subgroups.size(), 0);
+      auto advance = [&](size_t s) {
+        while (cursor[s] < subgroups[s]->size() &&
+               !alive((*subgroups[s])[cursor[s]])) {
+          ++cursor[s];
+        }
+        return cursor[s] < subgroups[s]->size();
+      };
+      while (true) {
+        // Find two distinct subgroups with alive tuples.
+        int first = -1, second = -1;
+        for (size_t s = 0; s < subgroups.size(); ++s) {
+          if (!advance(s)) continue;
+          if (first < 0) {
+            first = static_cast<int>(s);
+          } else {
+            second = static_cast<int>(s);
+            break;
+          }
+        }
+        if (second < 0) break;  // conflicts within this group all covered
+        int u = (*subgroups[first])[cursor[first]];
+        int v = (*subgroups[second])[cursor[second]];
+        double delta = std::min(residual[u], residual[v]);
+        residual[u] -= delta;
+        residual[v] -= delta;
+      }
+    }
+  }
+  std::vector<int> kept;
+  for (int i = 0; i < view.num_tuples(); ++i) {
+    if (alive(i)) kept.push_back(view.row(i));
+  }
+  return RestoreConsistentRows(fds, view, std::move(kept));
+}
+
+std::vector<int> SRepairVcApproxRowsViaGraph(
+    const FdSet& fds, const TableView& view,
+    const std::vector<int>& edge_order) {
+  NodeWeightedGraph graph = BuildConflictGraph(view, fds);
+  std::vector<int> cover = VertexCoverLocalRatio(graph, edge_order);
+  std::vector<char> deleted(view.num_tuples(), 0);
+  for (int node : cover) deleted[node] = 1;
+  std::vector<int> kept;
+  for (int i = 0; i < view.num_tuples(); ++i) {
+    if (!deleted[i]) kept.push_back(view.row(i));
+  }
+  return RestoreConsistentRows(fds, view, std::move(kept));
+}
+
+Table SRepairVcApprox(const FdSet& fds, const Table& table) {
+  return table.SubsetByRows(SRepairVcApproxRows(fds, TableView(table)));
+}
+
+}  // namespace fdrepair

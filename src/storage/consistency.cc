@@ -1,0 +1,63 @@
+#include "storage/consistency.h"
+
+#include <unordered_map>
+
+namespace fdrepair {
+
+bool Satisfies(const TableView& view, const FdSet& fds) {
+  for (const Fd& fd : fds.fds()) {
+    if (fd.IsTrivial()) continue;
+    // Map lhs projection -> the rhs value every tuple in the group must share.
+    std::unordered_map<ProjectionKey, ValueId, ProjectionKeyHash> rhs_of;
+    for (int i = 0; i < view.num_tuples(); ++i) {
+      ProjectionKey key = ProjectTuple(view.tuple(i), fd.lhs);
+      ValueId rhs = view.value(i, fd.rhs);
+      auto [it, inserted] = rhs_of.emplace(std::move(key), rhs);
+      if (!inserted && it->second != rhs) return false;
+    }
+  }
+  return true;
+}
+
+bool Satisfies(const Table& table, const FdSet& fds) {
+  return Satisfies(TableView(table), fds);
+}
+
+std::vector<Violation> FindViolations(const TableView& view, const FdSet& fds) {
+  std::vector<Violation> out;
+  for (const Fd& fd : fds.fds()) {
+    if (fd.IsTrivial()) continue;
+    // Group rows by lhs projection; within a group, tuples with different
+    // rhs values pairwise violate the FD.
+    std::unordered_map<ProjectionKey, std::vector<int>, ProjectionKeyHash>
+        groups;
+    for (int i = 0; i < view.num_tuples(); ++i) {
+      groups[ProjectTuple(view.tuple(i), fd.lhs)].push_back(i);
+    }
+    for (const auto& [key, members] : groups) {
+      for (size_t a = 0; a < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          int i = members[a];
+          int j = members[b];
+          if (view.value(i, fd.rhs) != view.value(j, fd.rhs)) {
+            out.push_back(Violation{view.row(i), view.row(j), fd});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool PairConsistent(const Tuple& t, const Tuple& s, const FdSet& fds) {
+  for (const Fd& fd : fds.fds()) {
+    bool lhs_agree = true;
+    ForEachAttr(fd.lhs, [&](AttrId attr) {
+      if (t[attr] != s[attr]) lhs_agree = false;
+    });
+    if (lhs_agree && t[fd.rhs] != s[fd.rhs]) return false;
+  }
+  return true;
+}
+
+}  // namespace fdrepair

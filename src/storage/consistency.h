@@ -1,0 +1,40 @@
+// Consistency checking (§2.2): T ⊧ ∆ iff every two tuples agreeing on the
+// lhs of an FD also agree on its rhs, plus violation enumeration used by the
+// conflict graph and by tests.
+
+#ifndef FDREPAIR_STORAGE_CONSISTENCY_H_
+#define FDREPAIR_STORAGE_CONSISTENCY_H_
+
+#include <vector>
+
+#include "catalog/fdset.h"
+#include "storage/table.h"
+#include "storage/table_view.h"
+
+namespace fdrepair {
+
+/// True iff the view satisfies every FD of ∆. Runs in O(|∆| · |T|) expected
+/// time via hashing on lhs projections.
+bool Satisfies(const TableView& view, const FdSet& fds);
+bool Satisfies(const Table& table, const FdSet& fds);
+
+/// A single FD violation: view rows i < j disagree on fd.rhs while agreeing
+/// on fd.lhs.
+struct Violation {
+  int row_i;  // dense row position in the underlying table
+  int row_j;
+  Fd fd;
+};
+
+/// Enumerates every violating pair for every FD. Quadratic in the worst case
+/// (inherent: the conflict graph can have Θ(n²) edges); callers that only
+/// need existence should use Satisfies.
+std::vector<Violation> FindViolations(const TableView& view, const FdSet& fds);
+
+/// True iff tuples t and s (jointly) satisfy ∆ — the pairwise test used by
+/// fact-wise reductions.
+bool PairConsistent(const Tuple& t, const Tuple& s, const FdSet& fds);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_STORAGE_CONSISTENCY_H_

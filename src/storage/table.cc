@@ -1,0 +1,167 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fdrepair {
+
+Table::Table(Schema schema)
+    : Table(std::move(schema), std::make_shared<ValuePool>()) {}
+
+Table::Table(Schema schema, std::shared_ptr<ValuePool> pool)
+    : schema_(std::move(schema)), pool_(std::move(pool)) {
+  FDR_CHECK(pool_ != nullptr);
+}
+
+TupleId Table::AddTuple(const std::vector<std::string>& values) {
+  return AddTuple(values, 1.0);
+}
+
+TupleId Table::AddTuple(const std::vector<std::string>& values, double weight) {
+  TupleId id = next_id_;
+  Status status = AddTupleWithId(id, values, weight);
+  FDR_CHECK_MSG(status.ok(), status.ToString());
+  return id;
+}
+
+Status Table::AddTupleWithId(TupleId id, const std::vector<std::string>& values,
+                             double weight) {
+  if (static_cast<int>(values.size()) != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(schema_.arity()));
+  }
+  Tuple tuple;
+  tuple.reserve(values.size());
+  for (const std::string& value : values) tuple.push_back(pool_->Intern(value));
+  return AddInternedTupleWithId(id, std::move(tuple), weight);
+}
+
+Status Table::AddInternedTupleWithId(TupleId id, Tuple values, double weight) {
+  if (static_cast<int>(values.size()) != schema_.arity()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  if (!(weight > 0)) {
+    return Status::InvalidArgument("tuple weight must be positive, got " +
+                                   FormatDouble(weight));
+  }
+  if (id_index_.find(id) != id_index_.end()) {
+    return Status::InvalidArgument("duplicate tuple identifier " +
+                                   std::to_string(id));
+  }
+  id_index_.emplace(id, num_tuples());
+  ids_.push_back(id);
+  weights_.push_back(weight);
+  tuples_.push_back(std::move(values));
+  next_id_ = std::max(next_id_, id + 1);
+  return Status::OK();
+}
+
+StatusOr<int> Table::RowOf(TupleId id) const {
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) {
+    return Status::NotFound("no tuple with identifier " + std::to_string(id));
+  }
+  return it->second;
+}
+
+const std::string& Table::ValueText(int row, AttrId attr) const {
+  return pool_->Text(value(row, attr));
+}
+
+double Table::TotalWeight() const {
+  double total = 0;
+  for (double w : weights_) total += w;
+  return total;
+}
+
+bool Table::IsUnweighted() const {
+  for (double w : weights_) {
+    if (w != weights_.front()) return false;
+  }
+  return true;
+}
+
+bool Table::IsDuplicateFree() const {
+  // Hash rows; compare only within buckets.
+  std::unordered_map<uint64_t, std::vector<int>> buckets;
+  for (int i = 0; i < num_tuples(); ++i) {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a over the value ids
+    for (ValueId v : tuples_[i]) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ULL;
+    }
+    for (int j : buckets[h]) {
+      if (tuples_[i] == tuples_[j]) return false;
+    }
+    buckets[h].push_back(i);
+  }
+  return true;
+}
+
+Table Table::SubsetByRows(const std::vector<int>& rows) const {
+  Table out(schema_, pool_);
+  for (int row : rows) {
+    FDR_CHECK_MSG(row >= 0 && row < num_tuples(), "row=" << row);
+    Status status = out.AddInternedTupleWithId(ids_[row], tuples_[row],
+                                               weights_[row]);
+    FDR_CHECK_MSG(status.ok(), status.ToString());
+  }
+  return out;
+}
+
+Table Table::Clone() const {
+  Table out(schema_, pool_);
+  out.ids_ = ids_;
+  out.weights_ = weights_;
+  out.tuples_ = tuples_;
+  out.id_index_ = id_index_;
+  out.next_id_ = next_id_;
+  return out;
+}
+
+void Table::SetValue(int row, AttrId attr, ValueId value) {
+  FDR_CHECK_MSG(row >= 0 && row < num_tuples(), "row=" << row);
+  FDR_CHECK_MSG(attr >= 0 && attr < schema_.arity(), "attr=" << attr);
+  tuples_[row][attr] = value;
+}
+
+std::string Table::ToString() const {
+  // Column widths: id, attributes, weight.
+  std::vector<size_t> widths(schema_.arity() + 2, 2);
+  widths[0] = std::max<size_t>(2, std::string("id").size());
+  for (int a = 0; a < schema_.arity(); ++a) {
+    widths[a + 1] = schema_.AttributeName(a).size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (int row = 0; row < num_tuples(); ++row) {
+    std::vector<std::string> line;
+    line.push_back(std::to_string(ids_[row]));
+    for (int a = 0; a < schema_.arity(); ++a) line.push_back(ValueText(row, a));
+    line.push_back(FormatDouble(weights_[row]));
+    for (size_t c = 0; c < line.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(widths[0])) << "id" << "  ";
+  for (int a = 0; a < schema_.arity(); ++a) {
+    os << std::setw(static_cast<int>(widths[a + 1])) << schema_.AttributeName(a)
+       << "  ";
+  }
+  os << "w\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << line[c]
+         << (c + 1 < line.size() ? "  " : "");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fdrepair

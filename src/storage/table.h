@@ -1,0 +1,105 @@
+// Table: the paper's data model (§2.1) — a single relation whose tuples
+// carry stable identifiers and positive weights. Duplicate tuples (equal
+// values, distinct identifiers) are explicitly supported, as are weighted
+// tuples; the dichotomy's hard side holds even without either.
+
+#ifndef FDREPAIR_STORAGE_TABLE_H_
+#define FDREPAIR_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/value_pool.h"
+
+namespace fdrepair {
+
+/// Stable tuple identifier (the paper's ids(T)); survives subsetting.
+using TupleId = int64_t;
+
+/// A tuple as a dense row of interned values, one per schema attribute.
+using Tuple = std::vector<ValueId>;
+
+/// A weighted, identified relation instance over one Schema.
+///
+/// Tuples are stored row-major. The ValuePool is shared via shared_ptr so
+/// repairs (subsets, updates) of the same table can intern new values —
+/// in particular fresh constants — without copying the dictionary.
+class Table {
+ public:
+  /// An empty table over `schema` with a private value pool.
+  explicit Table(Schema schema);
+  /// An empty table sharing an existing pool (for derived tables).
+  Table(Schema schema, std::shared_ptr<ValuePool> pool);
+
+  const Schema& schema() const { return schema_; }
+  const std::shared_ptr<ValuePool>& pool() const { return pool_; }
+
+  int num_tuples() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Appends a tuple with an auto-assigned identifier (max id + 1) and
+  /// weight 1. Returns its identifier.
+  TupleId AddTuple(const std::vector<std::string>& values);
+  /// Appends a weighted tuple; weight must be positive.
+  TupleId AddTuple(const std::vector<std::string>& values, double weight);
+  /// Appends with an explicit identifier; fails if it already exists, if the
+  /// arity mismatches, or if weight <= 0.
+  Status AddTupleWithId(TupleId id, const std::vector<std::string>& values,
+                        double weight);
+  /// Low-level append of pre-interned values.
+  Status AddInternedTupleWithId(TupleId id, Tuple values, double weight);
+
+  /// Row access by dense position (0..num_tuples-1).
+  const Tuple& tuple(int row) const { return tuples_[row]; }
+  TupleId id(int row) const { return ids_[row]; }
+  double weight(int row) const { return weights_[row]; }
+  ValueId value(int row, AttrId attr) const { return tuples_[row][attr]; }
+
+  /// The row position of identifier `id`, or kNotFound.
+  StatusOr<int> RowOf(TupleId id) const;
+
+  /// Value text of a cell (through the pool).
+  const std::string& ValueText(int row, AttrId attr) const;
+
+  /// Sum of all tuple weights (w_T(T)).
+  double TotalWeight() const;
+
+  /// §2.1 predicates: all weights equal / all value-rows distinct.
+  bool IsUnweighted() const;
+  bool IsDuplicateFree() const;
+
+  /// The subset of this table keeping exactly the rows in `rows`
+  /// (dense positions); identifiers and weights are preserved (§2.3).
+  Table SubsetByRows(const std::vector<int>& rows) const;
+
+  /// A deep copy sharing the value pool; starting point for updates.
+  Table Clone() const;
+
+  /// Overwrites one cell; the basis of update repairs. `attr` must be valid.
+  void SetValue(int row, AttrId attr, ValueId value);
+
+  /// Interns through the shared pool.
+  ValueId Intern(const std::string& text) { return pool_->Intern(text); }
+  ValueId FreshValue() { return pool_->FreshValue(); }
+
+  /// Pretty-prints in the style of Figure 1: id | values... | weight.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::shared_ptr<ValuePool> pool_;
+  std::vector<TupleId> ids_;
+  std::vector<double> weights_;
+  std::vector<Tuple> tuples_;
+  std::unordered_map<TupleId, int> id_index_;
+  TupleId next_id_ = 1;
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_STORAGE_TABLE_H_

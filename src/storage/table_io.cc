@@ -1,0 +1,114 @@
+#include "storage/table_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fdrepair {
+
+StatusOr<Table> TableFromCsv(const std::string& csv_text,
+                             const std::string& relation_name, char sep) {
+  std::vector<std::string> lines = Split(csv_text, '\n');
+  // Drop trailing blank lines.
+  while (!lines.empty() && StripAsciiWhitespace(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> header = Split(lines[0], sep);
+  int id_col = -1;
+  int w_col = -1;
+  std::vector<std::string> attr_names;
+  std::vector<int> attr_cols;
+  for (size_t c = 0; c < header.size(); ++c) {
+    std::string name(StripAsciiWhitespace(header[c]));
+    if (name == "id" && id_col < 0) {
+      id_col = static_cast<int>(c);
+    } else if (name == "w" && w_col < 0) {
+      w_col = static_cast<int>(c);
+    } else {
+      attr_names.push_back(name);
+      attr_cols.push_back(static_cast<int>(c));
+    }
+  }
+  FDR_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Make(relation_name, attr_names));
+  Table table(std::move(schema));
+
+  for (size_t ln = 1; ln < lines.size(); ++ln) {
+    if (StripAsciiWhitespace(lines[ln]).empty()) continue;
+    std::vector<std::string> fields = Split(lines[ln], sep);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(ln + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    std::vector<std::string> values;
+    values.reserve(attr_cols.size());
+    for (int c : attr_cols) {
+      values.emplace_back(StripAsciiWhitespace(fields[c]));
+    }
+    double weight = 1.0;
+    if (w_col >= 0) {
+      char* end = nullptr;
+      std::string w_text(StripAsciiWhitespace(fields[w_col]));
+      weight = std::strtod(w_text.c_str(), &end);
+      if (end == w_text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad weight on CSV line " +
+                                       std::to_string(ln + 1));
+      }
+    }
+    if (id_col >= 0) {
+      char* end = nullptr;
+      std::string id_text(StripAsciiWhitespace(fields[id_col]));
+      long long id = std::strtoll(id_text.c_str(), &end, 10);
+      if (end == id_text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad id on CSV line " +
+                                       std::to_string(ln + 1));
+      }
+      FDR_RETURN_IF_ERROR(table.AddTupleWithId(id, values, weight));
+    } else {
+      table.AddTuple(values, weight);
+    }
+  }
+  return table;
+}
+
+StatusOr<Table> TableFromCsvFile(const std::string& path,
+                                 const std::string& relation_name, char sep) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TableFromCsv(buffer.str(), relation_name, sep);
+}
+
+std::string TableToCsv(const Table& table, char sep) {
+  std::ostringstream os;
+  os << "id";
+  for (int a = 0; a < table.schema().arity(); ++a) {
+    os << sep << table.schema().AttributeName(a);
+  }
+  os << sep << "w\n";
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    os << table.id(row);
+    for (int a = 0; a < table.schema().arity(); ++a) {
+      os << sep << table.ValueText(row, a);
+    }
+    os << sep << FormatDouble(table.weight(row)) << "\n";
+  }
+  return os.str();
+}
+
+Status TableToCsvFile(const Table& table, const std::string& path, char sep) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << TableToCsv(table, sep);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace fdrepair

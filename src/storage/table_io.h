@@ -1,0 +1,37 @@
+// CSV import/export for tables.
+//
+// Format: first line is the header. Two optional reserved columns are
+// recognized by name: "id" (tuple identifier, integer) and "w" (weight,
+// positive float); all remaining columns become schema attributes in order.
+// Values are unquoted and must not contain the separator.
+
+#ifndef FDREPAIR_STORAGE_TABLE_IO_H_
+#define FDREPAIR_STORAGE_TABLE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// Parses CSV text into a table over an inferred schema.
+StatusOr<Table> TableFromCsv(const std::string& csv_text,
+                             const std::string& relation_name = "T",
+                             char sep = ',');
+
+/// Reads a CSV file from disk.
+StatusOr<Table> TableFromCsvFile(const std::string& path,
+                                 const std::string& relation_name = "T",
+                                 char sep = ',');
+
+/// Serializes a table to CSV (with id and w columns).
+std::string TableToCsv(const Table& table, char sep = ',');
+
+/// Writes CSV to disk.
+Status TableToCsvFile(const Table& table, const std::string& path,
+                      char sep = ',');
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_STORAGE_TABLE_IO_H_

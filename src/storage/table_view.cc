@@ -1,0 +1,51 @@
+#include "storage/table_view.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace fdrepair {
+
+TableView::TableView(const Table& table) : table_(&table) {
+  rows_.resize(table.num_tuples());
+  std::iota(rows_.begin(), rows_.end(), 0);
+}
+
+TableView::TableView(const Table& table, std::vector<int> rows)
+    : table_(&table), rows_(std::move(rows)) {
+  for (int row : rows_) {
+    FDR_CHECK_MSG(row >= 0 && row < table.num_tuples(), "row=" << row);
+  }
+}
+
+double TableView::TotalWeight() const {
+  double total = 0;
+  for (int i = 0; i < num_tuples(); ++i) total += weight(i);
+  return total;
+}
+
+ProjectionKey ProjectTuple(const Tuple& tuple, AttrSet attrs) {
+  ProjectionKey key;
+  key.values.reserve(attrs.size());
+  ForEachAttr(attrs, [&](AttrId attr) { key.values.push_back(tuple[attr]); });
+  return key;
+}
+
+std::vector<TableView> TableView::GroupBy(AttrSet attrs) const {
+  std::unordered_map<ProjectionKey, int, ProjectionKeyHash> group_of;
+  std::vector<std::vector<int>> groups;
+  for (int i = 0; i < num_tuples(); ++i) {
+    ProjectionKey key = ProjectTuple(tuple(i), attrs);
+    auto [it, inserted] =
+        group_of.emplace(std::move(key), static_cast<int>(groups.size()));
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(rows_[i]);
+  }
+  std::vector<TableView> out;
+  out.reserve(groups.size());
+  for (auto& group : groups) out.emplace_back(*table_, std::move(group));
+  return out;
+}
+
+Table TableView::ToTable() const { return table_->SubsetByRows(rows_); }
+
+}  // namespace fdrepair

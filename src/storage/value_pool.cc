@@ -1,0 +1,44 @@
+#include "storage/value_pool.h"
+
+namespace fdrepair {
+
+ValueId ValuePool::Intern(const std::string& text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(texts_.size());
+  index_.emplace(text, id);
+  texts_.push_back(text);
+  fresh_.push_back(false);
+  return id;
+}
+
+StatusOr<ValueId> ValuePool::Lookup(const std::string& text) const {
+  auto it = index_.find(text);
+  if (it == index_.end()) {
+    return Status::NotFound("value '" + text + "' not in pool");
+  }
+  return it->second;
+}
+
+ValueId ValuePool::FreshValue() {
+  std::string name;
+  do {
+    name = "⊥" + std::to_string(fresh_counter_++);
+  } while (index_.find(name) != index_.end());
+  ValueId id = Intern(name);
+  fresh_[id] = true;
+  return id;
+}
+
+bool ValuePool::IsFresh(ValueId value) const {
+  FDR_CHECK(value >= 0 && value < static_cast<ValueId>(fresh_.size()));
+  return fresh_[value];
+}
+
+const std::string& ValuePool::Text(ValueId value) const {
+  FDR_CHECK_MSG(value >= 0 && value < static_cast<ValueId>(texts_.size()),
+                "value id " << value << " out of range");
+  return texts_[value];
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,60 @@
+// ValuePool: interning of attribute values.
+//
+// The paper's domain Val is a countably infinite set of values; tables store
+// dense integer ids instead of strings so tuple comparisons, group-by and
+// FD checks are integer operations. The pool also manufactures *fresh
+// constants* — values guaranteed different from every value seen so far —
+// which the U-repair constructions rely on (Proposition 4.4 updates lhs-cover
+// cells "to a fresh constant from our infinite domain Val").
+
+#ifndef FDREPAIR_STORAGE_VALUE_POOL_H_
+#define FDREPAIR_STORAGE_VALUE_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// Dense id of an interned value. Ids are pool-local.
+using ValueId = int32_t;
+
+/// A bidirectional string <-> ValueId dictionary plus a fresh-value factory.
+class ValuePool {
+ public:
+  ValuePool() = default;
+
+  /// Returns the id of `text`, interning it on first sight.
+  ValueId Intern(const std::string& text);
+
+  /// Returns the id of `text` or kNotFound if it was never interned.
+  StatusOr<ValueId> Lookup(const std::string& text) const;
+
+  /// A value distinct from every value interned or manufactured so far.
+  /// Rendered as "⊥<n>"; collisions with user data are prevented by
+  /// suffixing until unique.
+  ValueId FreshValue();
+
+  /// True iff `value` was manufactured by FreshValue. Lets tests assert that
+  /// repairs only introduce fresh constants where the constructions say so.
+  bool IsFresh(ValueId value) const;
+
+  /// The text of an id; requires a valid id from this pool.
+  const std::string& Text(ValueId value) const;
+
+  /// Number of distinct values (interned + fresh).
+  int64_t size() const { return static_cast<int64_t>(texts_.size()); }
+
+ private:
+  std::unordered_map<std::string, ValueId> index_;
+  std::vector<std::string> texts_;
+  std::vector<bool> fresh_;
+  int64_t fresh_counter_ = 0;
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_STORAGE_VALUE_POOL_H_

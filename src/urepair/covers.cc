@@ -1,0 +1,143 @@
+#include "urepair/covers.h"
+
+#include <algorithm>
+
+namespace fdrepair {
+
+StatusOr<AttrSet> MinimumHittingSet(const std::vector<AttrSet>& family,
+                                    AttrSet universe) {
+  if (universe.size() > kMaxCoverAttrs) {
+    return Status::ResourceExhausted(
+        "hitting-set universe exceeds " + std::to_string(kMaxCoverAttrs) +
+        " attributes");
+  }
+  for (const AttrSet& member : family) {
+    if (!member.Intersects(universe) && !member.empty()) {
+      return Status::InvalidArgument(
+          "family member " + member.ToString() +
+          " shares no attribute with the universe");
+    }
+    if (member.empty()) {
+      return Status::InvalidArgument(
+          "family contains the empty set: no hitting set exists");
+    }
+  }
+  AttrSet best = universe;
+  bool found = family.empty();
+  if (family.empty()) return AttrSet();
+  ForEachSubset(universe, [&](AttrSet candidate) {
+    if (found && candidate.size() > best.size()) return;
+    for (const AttrSet& member : family) {
+      if (!member.Intersects(candidate)) return;
+    }
+    if (!found || candidate.size() < best.size() ||
+        (candidate.size() == best.size() && candidate < best)) {
+      best = candidate;
+      found = true;
+    }
+  });
+  FDR_CHECK(found);
+  return best;
+}
+
+StatusOr<AttrSet> MinimumLhsCover(const FdSet& fds) {
+  std::vector<AttrSet> lhss;
+  for (const Fd& fd : fds.fds()) {
+    if (fd.IsConsensus()) {
+      return Status::InvalidArgument(
+          "lhs cover undefined: FD set contains a consensus FD");
+    }
+    lhss.push_back(fd.lhs);
+  }
+  AttrSet universe;
+  for (const AttrSet& lhs : lhss) universe = universe.Union(lhs);
+  return MinimumHittingSet(lhss, universe);
+}
+
+StatusOr<int> Mlc(const FdSet& fds) {
+  FDR_ASSIGN_OR_RETURN(AttrSet cover, MinimumLhsCover(fds));
+  return cover.size();
+}
+
+int Mfs(const FdSet& fds) {
+  int max_lhs = 0;
+  for (const Fd& fd : fds.fds()) max_lhs = std::max(max_lhs, fd.lhs.size());
+  return max_lhs;
+}
+
+StatusOr<std::vector<AttrSet>> MinimalImplicants(const FdSet& fds,
+                                                 AttrId attr) {
+  AttrSet universe = fds.Attrs().Without(attr);
+  if (universe.size() > kMaxCoverAttrs) {
+    return Status::ResourceExhausted("implicant universe exceeds " +
+                                     std::to_string(kMaxCoverAttrs) +
+                                     " attributes");
+  }
+  // Collect every implicant, then prune non-minimal ones.
+  std::vector<AttrSet> implicants;
+  ForEachSubset(universe, [&](AttrSet candidate) {
+    if (fds.Closure(candidate).Contains(attr)) implicants.push_back(candidate);
+  });
+  std::vector<AttrSet> minimal;
+  for (const AttrSet& x : implicants) {
+    bool is_minimal = true;
+    for (const AttrSet& y : implicants) {
+      if (y.IsStrictSubsetOf(x)) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(x);
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+StatusOr<AttrSet> MinimumCoreImplicant(const FdSet& fds, AttrId attr) {
+  FDR_ASSIGN_OR_RETURN(std::vector<AttrSet> implicants,
+                       MinimalImplicants(fds, attr));
+  if (implicants.empty()) return AttrSet();
+  // An implicant can be empty iff attr is a consensus attribute; then no
+  // core implicant exists — Theorem 4.3 removes consensus attributes before
+  // these measures are consulted.
+  AttrSet universe;
+  for (const AttrSet& x : implicants) universe = universe.Union(x);
+  return MinimumHittingSet(implicants, universe);
+}
+
+StatusOr<int> Mci(const FdSet& fds) {
+  int max_size = 0;
+  Status failure = Status::OK();
+  ForEachAttr(fds.Attrs(), [&](AttrId attr) {
+    if (!failure.ok()) return;
+    auto core = MinimumCoreImplicant(fds, attr);
+    if (!core.ok()) {
+      failure = core.status();
+      return;
+    }
+    max_size = std::max(max_size, core->size());
+  });
+  FDR_RETURN_IF_ERROR(failure);
+  return max_size;
+}
+
+StatusOr<double> MlcApproxRatioBound(const FdSet& fds) {
+  // Theorem 4.12 refined by Theorem 4.1: decompose into attribute-disjoint
+  // components and take the worst component's mlc.
+  int worst_mlc = 0;
+  for (const FdSet& component : fds.AttributeDisjointComponents()) {
+    FDR_ASSIGN_OR_RETURN(int component_mlc, Mlc(component));
+    worst_mlc = std::max(worst_mlc, component_mlc);
+  }
+  if (worst_mlc == 0) return 1.0;  // nothing to repair
+  return 2.0 * worst_mlc;
+}
+
+StatusOr<double> KlApproxRatioBound(const FdSet& fds) {
+  if (fds.WithoutTrivial().empty()) return 1.0;
+  FDR_ASSIGN_OR_RETURN(int mci, Mci(fds));
+  int mfs = Mfs(fds);
+  return (mci + 2.0) * (2.0 * mfs - 1.0);
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,63 @@
+// Cover measures on FD sets (§4): mlc(∆) — the minimum-cardinality lhs
+// cover; MFS(∆) and MCI(∆) — the measures behind Kolahi & Lakshmanan's
+// approximation ratio (Theorem 4.13); and minimal core implicants.
+//
+// All are minimum hitting sets over families of attribute sets. The paper's
+// data-complexity stance allows exponential dependence on the (fixed)
+// schema, and these routines are exponential in |attr(∆)|, guarded at
+// kMaxCoverAttrs attributes.
+
+#ifndef FDREPAIR_UREPAIR_COVERS_H_
+#define FDREPAIR_UREPAIR_COVERS_H_
+
+#include <vector>
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+
+namespace fdrepair {
+
+/// Hitting-set computations refuse universes beyond this many attributes.
+inline constexpr int kMaxCoverAttrs = 24;
+
+/// A minimum-cardinality set intersecting every set in `family`, drawn from
+/// `universe`. Ties break to the lexicographically smallest bitmask. Fails
+/// (kInvalidArgument) if some family member does not intersect `universe`
+/// (an empty member makes any hitting set impossible), or
+/// (kResourceExhausted) if the universe exceeds kMaxCoverAttrs.
+StatusOr<AttrSet> MinimumHittingSet(const std::vector<AttrSet>& family,
+                                    AttrSet universe);
+
+/// An lhs cover of minimum cardinality: hits the lhs of every FD (§4).
+/// Fails for FD sets containing a consensus FD (empty lhs cannot be hit).
+StatusOr<AttrSet> MinimumLhsCover(const FdSet& fds);
+
+/// mlc(∆) = |MinimumLhsCover(∆)|; 0 for the empty set.
+StatusOr<int> Mlc(const FdSet& fds);
+
+/// MFS(∆): the maximum number of attributes in any lhs (§4.4).
+int Mfs(const FdSet& fds);
+
+/// The minimal *nontrivial* implicants of attribute `attr`: the ⊆-minimal
+/// sets X with attr ∉ X and ∆ ⊧ X → attr. (Trivial implicants — those
+/// containing attr — are excluded, matching MCI(∆'_k) = 1 in §4.4.)
+StatusOr<std::vector<AttrSet>> MinimalImplicants(const FdSet& fds,
+                                                 AttrId attr);
+
+/// A minimum core implicant of `attr`: a smallest set hitting every
+/// (minimal) implicant of attr. Empty when attr has no nontrivial implicant.
+StatusOr<AttrSet> MinimumCoreImplicant(const FdSet& fds, AttrId attr);
+
+/// MCI(∆): the largest minimum-core-implicant size over attributes of
+/// attr(∆) (§4.4).
+StatusOr<int> Mci(const FdSet& fds);
+
+/// The proven approximation ratios compared in §4.4:
+/// ours (Theorem 4.12): 2 · max over attribute-disjoint components of mlc;
+StatusOr<double> MlcApproxRatioBound(const FdSet& fds);
+/// Kolahi–Lakshmanan (Theorem 4.13): (MCI(∆) + 2) · (2 · MFS(∆) − 1).
+StatusOr<double> KlApproxRatioBound(const FdSet& fds);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_UREPAIR_COVERS_H_

@@ -1,0 +1,30 @@
+// Update-repair plumbing (§2.3, §4): an update U of T is a table with the
+// same identifiers and weights whose values may differ; its cost is the
+// weighted Hamming distance dist_upd. This header provides validation and
+// direction 1 of Proposition 4.4 (update -> consistent subset).
+
+#ifndef FDREPAIR_UREPAIR_UPDATE_H_
+#define FDREPAIR_UREPAIR_UPDATE_H_
+
+#include <vector>
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "storage/distance.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// Checks that `update` is an update of `table`: same schema, identical
+/// identifier set, identical weights.
+Status ValidateUpdate(const Table& update, const Table& table);
+
+/// Proposition 4.4 (1): from a consistent update U, the rows of T whose
+/// tuples U left untouched form a consistent subset S with
+/// dist_sub(S, T) <= dist_upd(U, T). Returns those dense row positions.
+StatusOr<std::vector<int>> UpdateToConsistentSubsetRows(const Table& table,
+                                                        const Table& update);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_UREPAIR_UPDATE_H_

@@ -1,0 +1,54 @@
+#include "urepair/urepair_consensus.h"
+
+#include <unordered_map>
+
+namespace fdrepair {
+namespace {
+
+// The weighted-plurality value of a column (first-seen wins ties).
+ValueId PluralityValue(const Table& table, AttrId attr) {
+  FDR_CHECK(table.num_tuples() > 0);
+  std::unordered_map<ValueId, double> weight_of;
+  std::vector<ValueId> order;
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    ValueId value = table.value(row, attr);
+    auto [it, inserted] = weight_of.emplace(value, 0.0);
+    if (inserted) order.push_back(value);
+    it->second += table.weight(row);
+  }
+  ValueId best = order.front();
+  for (ValueId value : order) {
+    if (weight_of[value] > weight_of[best]) best = value;
+  }
+  return best;
+}
+
+}  // namespace
+
+Table ConsensusPluralityRepair(const Table& table, AttrSet attrs) {
+  Table update = table.Clone();
+  if (table.num_tuples() == 0) return update;
+  ForEachAttr(attrs, [&](AttrId attr) {
+    ValueId plurality = PluralityValue(table, attr);
+    for (int row = 0; row < update.num_tuples(); ++row) {
+      if (update.value(row, attr) != plurality) {
+        update.SetValue(row, attr, plurality);
+      }
+    }
+  });
+  return update;
+}
+
+double ConsensusPluralityCost(const Table& table, AttrSet attrs) {
+  if (table.num_tuples() == 0) return 0;
+  double cost = 0;
+  ForEachAttr(attrs, [&](AttrId attr) {
+    ValueId plurality = PluralityValue(table, attr);
+    for (int row = 0; row < table.num_tuples(); ++row) {
+      if (table.value(row, attr) != plurality) cost += table.weight(row);
+    }
+  });
+  return cost;
+}
+
+}  // namespace fdrepair

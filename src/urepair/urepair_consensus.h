@@ -1,0 +1,27 @@
+// Optimal U-repair for consensus FDs (Proposition B.2 / Corollary B.3):
+// for ∅ → A the cheapest consistent update keeps the weighted-plurality
+// value of column A and overwrites the rest. Distinct consensus attributes
+// are attribute-disjoint FD sets {∅→A}, so each column is repaired to its
+// own plurality value independently (Theorem 4.1).
+
+#ifndef FDREPAIR_UREPAIR_UREPAIR_CONSENSUS_H_
+#define FDREPAIR_UREPAIR_UREPAIR_CONSENSUS_H_
+
+#include "catalog/attrset.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// Overwrites, for each attribute in `attrs`, every cell that does not hold
+/// the column's weighted-plurality value (ties break to the first-seen
+/// value). Returns the updated table; the incurred dist_upd is the sum over
+/// columns of (total weight − plurality weight).
+Table ConsensusPluralityRepair(const Table& table, AttrSet attrs);
+
+/// The cost the plurality repair will incur, without building it.
+double ConsensusPluralityCost(const Table& table, AttrSet attrs);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_UREPAIR_UREPAIR_CONSENSUS_H_

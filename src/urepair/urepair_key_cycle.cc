@@ -1,0 +1,71 @@
+#include "urepair/urepair_key_cycle.h"
+
+#include <unordered_map>
+
+#include "srepair/opt_srepair.h"
+
+namespace fdrepair {
+
+std::optional<std::pair<AttrId, AttrId>> DetectKeyCycle(const FdSet& fds) {
+  FdSet delta = fds.WithoutTrivial();
+  if (delta.size() != 2) return std::nullopt;
+  const Fd& first = delta.fds()[0];
+  const Fd& second = delta.fds()[1];
+  if (first.lhs.size() != 1 || second.lhs.size() != 1) return std::nullopt;
+  AttrId a = first.lhs.First();
+  AttrId b = second.lhs.First();
+  if (first.rhs == b && second.rhs == a && a != b) {
+    return std::make_pair(a, b);
+  }
+  return std::nullopt;
+}
+
+StatusOr<Table> KeyCycleOptimalURepair(const FdSet& fds, const Table& table) {
+  auto cycle = DetectKeyCycle(fds);
+  if (!cycle) {
+    return Status::FailedPrecondition(
+        "KeyCycleOptimalURepair requires ∆ = {A -> B, B -> A}");
+  }
+  const auto [a, b] = *cycle;
+  FdSet delta = fds.WithoutTrivial();
+  // {A → B, B → A} passes OSRSucceeds via lhs marriage, so this cannot fail.
+  FDR_ASSIGN_OR_RETURN(std::vector<int> kept_rows,
+                       OptSRepairRows(delta, TableView(table)));
+  std::vector<char> kept(table.num_tuples(), 0);
+  for (int row : kept_rows) kept[row] = 1;
+
+  // Kept tuples define a partial bijection between A values and B values.
+  std::unordered_map<ValueId, ValueId> b_of_a;
+  std::unordered_map<ValueId, ValueId> a_of_b;
+  for (int row : kept_rows) {
+    b_of_a.emplace(table.value(row, a), table.value(row, b));
+    a_of_b.emplace(table.value(row, b), table.value(row, a));
+  }
+
+  Table update = table.Clone();
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    if (kept[row]) continue;
+    ValueId value_a = table.value(row, a);
+    ValueId value_b = table.value(row, b);
+    auto via_a = b_of_a.find(value_a);
+    if (via_a != b_of_a.end()) {
+      // Align the deleted tuple with the kept tuple sharing its A value.
+      update.SetValue(row, b, via_a->second);
+      continue;
+    }
+    auto via_b = a_of_b.find(value_b);
+    if (via_b != a_of_b.end()) {
+      update.SetValue(row, a, via_b->second);
+      continue;
+    }
+    // Unreachable for a true optimum (the tuple could have been kept);
+    // leaving the tuple unchanged keeps the update consistent regardless,
+    // since its A and B values match no kept tuple. New (A, B) pair joins
+    // the bijection to stay safe against later deleted tuples.
+    b_of_a.emplace(value_a, value_b);
+    a_of_b.emplace(value_b, value_a);
+  }
+  return update;
+}
+
+}  // namespace fdrepair

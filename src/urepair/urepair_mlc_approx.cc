@@ -1,0 +1,36 @@
+#include "urepair/urepair_mlc_approx.h"
+
+#include "srepair/srepair_vc_approx.h"
+#include "urepair/urepair_common_lhs.h"
+
+namespace fdrepair {
+
+StatusOr<Table> MlcApproxURepair(const FdSet& fds, const Table& table) {
+  FdSet delta = fds.WithoutTrivial();
+  if (!delta.IsConsensusFree()) {
+    return Status::FailedPrecondition(
+        "MlcApproxURepair requires a consensus-free FD set");
+  }
+  // Theorem 4.1 composition: repair each attribute-disjoint component with
+  // its own (smaller) lhs cover, so the guarantee is
+  // 2 · max_i mlc(∆_i) rather than 2 · mlc(∆).
+  Table update = table.Clone();
+  for (const FdSet& component : delta.AttributeDisjointComponents()) {
+    std::vector<int> kept_rows =
+        SRepairVcApproxRows(component, TableView(table));
+    FDR_ASSIGN_OR_RETURN(Table sub, SubsetToUpdate(component, table,
+                                                   kept_rows));
+    // Merge the component's freshened cells (all inside attr(∆_i)).
+    AttrSet attrs = component.Attrs();
+    for (int row = 0; row < table.num_tuples(); ++row) {
+      ForEachAttr(attrs, [&](AttrId attr) {
+        if (sub.value(row, attr) != update.value(row, attr)) {
+          update.SetValue(row, attr, sub.value(row, attr));
+        }
+      });
+    }
+  }
+  return update;
+}
+
+}  // namespace fdrepair

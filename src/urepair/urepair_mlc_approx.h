@@ -1,0 +1,22 @@
+// The 2·mlc(∆)-approximate U-repair (Theorem 4.12): a 2-approximate
+// S-repair via weighted vertex cover (Proposition 3.3) converted by
+// Proposition 4.4 (2) — freshen a minimum lhs cover in every deleted tuple.
+// Cost <= mlc · dist_sub(2-approx S) <= 2 · mlc · dist_sub(S*)
+//      <= 2 · mlc · dist_upd(U*) (Corollary 4.5).
+
+#ifndef FDREPAIR_UREPAIR_UREPAIR_MLC_APPROX_H_
+#define FDREPAIR_UREPAIR_UREPAIR_MLC_APPROX_H_
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// Computes a 2·mlc(∆)-optimal U-repair. Requires consensus-free ∆
+/// (the planner peels consensus attributes off first, Theorem 4.3).
+StatusOr<Table> MlcApproxURepair(const FdSet& fds, const Table& table);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_UREPAIR_UREPAIR_MLC_APPROX_H_

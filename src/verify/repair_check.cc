@@ -1,0 +1,170 @@
+#include "verify/repair_check.h"
+
+#include <vector>
+
+#include "srepair/opt_srepair.h"
+#include "srepair/osr_succeeds.h"
+#include "srepair/srepair_exact.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/planner.h"
+#include "urepair/update.h"
+#include "urepair/urepair_exact.h"
+
+namespace fdrepair {
+
+const char* SubsetRepairClassToString(SubsetRepairClass repair_class) {
+  switch (repair_class) {
+    case SubsetRepairClass::kNotAConsistentSubset:
+      return "not-a-consistent-subset";
+    case SubsetRepairClass::kConsistentSubset:
+      return "consistent-subset";
+    case SubsetRepairClass::kSubsetRepair:
+      return "subset-repair";
+    case SubsetRepairClass::kOptimalSubsetRepair:
+      return "optimal-subset-repair";
+  }
+  return "unknown";
+}
+
+const char* UpdateRepairClassToString(UpdateRepairClass repair_class) {
+  switch (repair_class) {
+    case UpdateRepairClass::kNotAConsistentUpdate:
+      return "not-a-consistent-update";
+    case UpdateRepairClass::kConsistentUpdate:
+      return "consistent-update";
+    case UpdateRepairClass::kUpdateRepair:
+      return "update-repair";
+    case UpdateRepairClass::kOptimalUpdateRepair:
+      return "optimal-update-repair";
+  }
+  return "unknown";
+}
+
+StatusOr<SubsetCheckResult> CheckSubsetRepair(const FdSet& fds,
+                                              const Table& table,
+                                              const Table& subset) {
+  SubsetCheckResult result;
+  // Malformed candidates (not a subset at all) are API errors.
+  FDR_ASSIGN_OR_RETURN(result.distance, DistSub(subset, table));
+  if (!Satisfies(subset, fds)) {
+    result.repair_class = SubsetRepairClass::kNotAConsistentSubset;
+    return result;
+  }
+  // ⊆-maximality (§2.3): no deleted tuple can be restored consistently.
+  std::vector<char> kept(table.num_tuples(), 0);
+  for (int row = 0; row < subset.num_tuples(); ++row) {
+    FDR_ASSIGN_OR_RETURN(int parent_row, table.RowOf(subset.id(row)));
+    kept[parent_row] = 1;
+  }
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    if (kept[row]) continue;
+    bool restorable = true;
+    for (int other = 0; other < subset.num_tuples() && restorable; ++other) {
+      if (!PairConsistent(table.tuple(row), subset.tuple(other), fds)) {
+        restorable = false;
+      }
+    }
+    if (restorable) {
+      result.repair_class = SubsetRepairClass::kConsistentSubset;
+      return result;
+    }
+  }
+  result.repair_class = SubsetRepairClass::kSubsetRepair;
+
+  // Optimality tier.
+  if (OsrSucceeds(fds)) {
+    FDR_ASSIGN_OR_RETURN(std::vector<int> rows,
+                         OptSRepairRows(fds, TableView(table)));
+    result.optimal_distance =
+        DistSubOrDie(table.SubsetByRows(rows), table);
+  } else {
+    auto exact = OptSRepairExact(fds, table);
+    if (!exact.ok()) {
+      if (exact.status().code() == StatusCode::kResourceExhausted) {
+        result.optimality_known = false;
+        return result;
+      }
+      return exact.status();
+    }
+    result.optimal_distance = DistSubOrDie(*exact, table);
+  }
+  if (result.distance <= result.optimal_distance + 1e-9) {
+    result.repair_class = SubsetRepairClass::kOptimalSubsetRepair;
+  }
+  return result;
+}
+
+StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
+                                              const Table& table,
+                                              const Table& update,
+                                              int max_changed_cells) {
+  UpdateCheckResult result;
+  FDR_RETURN_IF_ERROR(ValidateUpdate(update, table));
+  FDR_ASSIGN_OR_RETURN(result.distance, DistUpd(update, table));
+  if (!Satisfies(update, fds)) {
+    result.repair_class = UpdateRepairClass::kNotAConsistentUpdate;
+    return result;
+  }
+
+  // Changed cells, aligned by tuple identifier.
+  struct Cell {
+    int update_row;
+    AttrId attr;
+    ValueId original;
+  };
+  std::vector<Cell> changed;
+  for (int row = 0; row < update.num_tuples(); ++row) {
+    FDR_ASSIGN_OR_RETURN(int parent_row, table.RowOf(update.id(row)));
+    for (AttrId attr = 0; attr < table.schema().arity(); ++attr) {
+      if (update.value(row, attr) != table.value(parent_row, attr)) {
+        changed.push_back(Cell{row, attr, table.value(parent_row, attr)});
+      }
+    }
+  }
+  if (static_cast<int>(changed.size()) > max_changed_cells) {
+    return Status::ResourceExhausted(
+        "U-repair minimality check limited to " +
+        std::to_string(max_changed_cells) + " changed cells, candidate has " +
+        std::to_string(changed.size()));
+  }
+  // §2.3: a U-repair becomes inconsistent if *any* non-empty set of updated
+  // values is restored. Enumerate all subsets.
+  for (uint64_t mask = 1; mask < (uint64_t{1} << changed.size()); ++mask) {
+    Table reverted = update.Clone();
+    for (size_t c = 0; c < changed.size(); ++c) {
+      if ((mask >> c) & 1) {
+        reverted.SetValue(changed[c].update_row, changed[c].attr,
+                          changed[c].original);
+      }
+    }
+    if (Satisfies(reverted, fds)) {
+      result.repair_class = UpdateRepairClass::kConsistentUpdate;
+      return result;
+    }
+  }
+  result.repair_class = UpdateRepairClass::kUpdateRepair;
+
+  // Optimality tier: a provably optimal plan, else the exhaustive solver.
+  URepairOptions planner_options;
+  auto planned = ComputeURepair(fds, table, planner_options);
+  if (planned.ok() && planned->optimal) {
+    result.optimal_distance = planned->distance;
+  } else {
+    auto exact = OptURepairExact(fds.WithoutTrivial(), table);
+    if (!exact.ok()) {
+      if (exact.status().code() == StatusCode::kResourceExhausted) {
+        result.optimality_known = false;
+        return result;
+      }
+      return exact.status();
+    }
+    result.optimal_distance = DistUpdOrDie(*exact, table);
+  }
+  if (result.distance <= result.optimal_distance + 1e-9) {
+    result.repair_class = UpdateRepairClass::kOptimalUpdateRepair;
+  }
+  return result;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,81 @@
+// Repair checking (Afrati & Kolaitis, reference [1] of the paper): given a
+// candidate repair, decide what it actually is. §2.3 distinguishes
+//   - a consistent subset/update (just satisfies ∆),
+//   - a *repair* (local minimum: no operation can be undone), and
+//   - an *optimal* repair (global minimum).
+// The paper works with global minima but defines both; these checkers make
+// the definitions executable and power the test suite's validations.
+
+#ifndef FDREPAIR_VERIFY_REPAIR_CHECK_H_
+#define FDREPAIR_VERIFY_REPAIR_CHECK_H_
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// What a candidate subset turned out to be.
+enum class SubsetRepairClass {
+  /// Not a subset of T, or inconsistent with ∆.
+  kNotAConsistentSubset,
+  /// Consistent but some deleted tuple could be restored (not ⊆-maximal).
+  kConsistentSubset,
+  /// An S-repair (⊆-maximal consistent subset, §2.3) but not optimal.
+  kSubsetRepair,
+  /// An optimal S-repair (global minimum, i.e. a weighted cardinality
+  /// repair). Only reported when optimality is decidable for ∆/instance.
+  kOptimalSubsetRepair,
+};
+
+const char* SubsetRepairClassToString(SubsetRepairClass repair_class);
+
+/// Classifies `subset` relative to `table` under ∆. The optimality tier is
+/// checked via OptSRepair when OSRSucceeds(∆), else via the exact solver
+/// when the instance is small enough; otherwise the classification stops at
+/// kSubsetRepair ("at least a repair") and `optimality_known` is false.
+struct SubsetCheckResult {
+  SubsetRepairClass repair_class = SubsetRepairClass::kNotAConsistentSubset;
+  bool optimality_known = true;
+  /// dist_sub(subset, table) when it is a consistent subset.
+  double distance = 0;
+  /// Optimal distance when optimality_known.
+  double optimal_distance = 0;
+};
+StatusOr<SubsetCheckResult> CheckSubsetRepair(const FdSet& fds,
+                                              const Table& table,
+                                              const Table& subset);
+
+/// What a candidate update turned out to be.
+enum class UpdateRepairClass {
+  kNotAConsistentUpdate,
+  /// Consistent but some set of updated cells can be reverted to the
+  /// original values without breaking consistency (not a U-repair, §2.3).
+  kConsistentUpdate,
+  /// A U-repair: restoring any non-empty set of updated cells breaks ∆.
+  kUpdateRepair,
+  kOptimalUpdateRepair,
+};
+
+const char* UpdateRepairClassToString(UpdateRepairClass repair_class);
+
+struct UpdateCheckResult {
+  UpdateRepairClass repair_class = UpdateRepairClass::kNotAConsistentUpdate;
+  bool optimality_known = true;
+  double distance = 0;
+  double optimal_distance = 0;
+};
+
+/// Classifies `update` relative to `table` under ∆. Minimality is verified
+/// over all subsets of changed cells (exponential in their number; guarded
+/// by `max_changed_cells`). Optimality uses the exhaustive solver on small
+/// instances; otherwise `optimality_known` is false and the classification
+/// stops at kUpdateRepair.
+StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
+                                              const Table& table,
+                                              const Table& update,
+                                              int max_changed_cells = 20);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_VERIFY_REPAIR_CHECK_H_

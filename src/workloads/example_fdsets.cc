@@ -1,0 +1,173 @@
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+
+ParsedFdSet OfficeFds() {
+  auto parsed = ParseFdSetInferSchema(
+      "facility -> city; facility room -> floor", "Office");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet DeltaAKeyBToC() {
+  return ParseFdSetInferSchemaOrDie("A -> B; B -> A; B -> C");
+}
+
+ParsedFdSet Example31Ssn() {
+  auto parsed = ParseFdSetInferSchema(
+      "ssn -> first; ssn -> last; first last -> ssn; ssn -> address; "
+      "ssn office -> phone; ssn office -> fax",
+      "Person");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet DeltaAtoBtoC() {
+  return ParseFdSetInferSchemaOrDie("A -> B; B -> C");
+}
+
+ParsedFdSet DeltaAtoCfromB() {
+  // Infer with C before B so the schema still reads R(A, B, C): declare the
+  // attribute order explicitly instead.
+  Schema schema = Schema::Anonymous(3);
+  FdSet fds = ParseFdSetOrDie(schema, "A -> C; B -> C");
+  return ParsedFdSet{schema, fds};
+}
+
+ParsedFdSet DeltaABtoCtoB() {
+  return ParseFdSetInferSchemaOrDie("A B -> C; C -> B");
+}
+
+ParsedFdSet DeltaTriangle() {
+  return ParseFdSetInferSchemaOrDie("A B -> C; A C -> B; B C -> A");
+}
+
+ParsedFdSet DeltaTwoDisjoint() {
+  return ParseFdSetInferSchemaOrDie("A -> B; C -> D");
+}
+
+ParsedFdSet Delta0Purchase() {
+  auto parsed = ParseFdSetInferSchema(
+      "product -> price; buyer -> email", "Purchase");
+  FDR_CHECK(parsed.ok());
+  ParsedFdSet out = std::move(parsed).value();
+  return out;
+}
+
+ParsedFdSet Delta3Email() {
+  auto parsed = ParseFdSetInferSchema(
+      "email -> buyer; buyer -> address", "Purchase");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet Delta4Buyer() {
+  auto parsed = ParseFdSetInferSchema(
+      "buyer -> email; email -> buyer; buyer -> address", "Purchase");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet Example42Tractable() {
+  auto parsed = ParseFdSetInferSchema(
+      "item -> cost; buyer -> address", "Order");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet Example42Hard() {
+  auto parsed = ParseFdSetInferSchema(
+      "item -> cost; buyer -> address; address -> state", "Order");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet Example47Passport() {
+  auto parsed = ParseFdSetInferSchema(
+      "id country -> passport; id passport -> country", "Citizen");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet Example47Zip() {
+  auto parsed = ParseFdSetInferSchema(
+      "state city -> zip; state zip -> county", "Address");
+  FDR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+ParsedFdSet Example38Class(int fd_class) {
+  switch (fd_class) {
+    case 1:
+      return ParseFdSetInferSchemaOrDie("A -> B; C -> D");
+    case 2:
+      return ParseFdSetInferSchemaOrDie("A -> C D; B -> C E");
+    case 3:
+      return ParseFdSetInferSchemaOrDie("A -> B C; B -> D");
+    case 4:
+      return ParseFdSetInferSchemaOrDie("A B -> C; A C -> B; B C -> A");
+    case 5:
+      return ParseFdSetInferSchemaOrDie("A B -> C; C -> A D");
+    default:
+      FDR_CHECK_MSG(false, "Example 3.8 classes are 1..5, got " << fd_class);
+  }
+}
+
+ParsedFdSet DeltaKFamily(int k) {
+  FDR_CHECK_MSG(k >= 1, "DeltaKFamily requires k >= 1, got " << k);
+  // R(A0..Ak, B0..Bk, C); ∆k = {A0…Ak → B0, B0 → C, Bi → A0 for i = 1..k}.
+  std::vector<std::string> names;
+  for (int i = 0; i <= k; ++i) names.push_back("A" + std::to_string(i));
+  for (int i = 0; i <= k; ++i) names.push_back("B" + std::to_string(i));
+  names.push_back("C");
+  Schema schema = Schema::MakeOrDie("R", names);
+  std::string text;
+  for (int i = 0; i <= k; ++i) text += "A" + std::to_string(i) + " ";
+  text += "-> B0; B0 -> C";
+  for (int i = 1; i <= k; ++i) text += "; B" + std::to_string(i) + " -> A0";
+  FdSet fds = ParseFdSetOrDie(schema, text);
+  return ParsedFdSet{schema, fds};
+}
+
+ParsedFdSet DeltaPrimeKFamily(int k) {
+  FDR_CHECK_MSG(k >= 1, "DeltaPrimeKFamily requires k >= 1, got " << k);
+  // R(A0..Ak+1, B0..Bk); ∆'k = {Ai Ai+1 → Bi for i = 0..k}.
+  std::vector<std::string> names;
+  for (int i = 0; i <= k + 1; ++i) names.push_back("A" + std::to_string(i));
+  for (int i = 0; i <= k; ++i) names.push_back("B" + std::to_string(i));
+  Schema schema = Schema::MakeOrDie("R", names);
+  std::string text;
+  for (int i = 0; i <= k; ++i) {
+    if (i > 0) text += "; ";
+    text += "A" + std::to_string(i) + " A" + std::to_string(i + 1) + " -> B" +
+            std::to_string(i);
+  }
+  FdSet fds = ParseFdSetOrDie(schema, text);
+  return ParsedFdSet{schema, fds};
+}
+
+std::vector<NamedFdSet> AllNamedFdSets() {
+  std::vector<NamedFdSet> out;
+  out.push_back({"office", OfficeFds()});
+  out.push_back({"A<->B->C", DeltaAKeyBToC()});
+  out.push_back({"ssn(Ex3.1)", Example31Ssn()});
+  out.push_back({"A->B->C", DeltaAtoBtoC()});
+  out.push_back({"A->C<-B", DeltaAtoCfromB()});
+  out.push_back({"AB->C->B", DeltaABtoCtoB()});
+  out.push_back({"AB<->AC<->BC", DeltaTriangle()});
+  out.push_back({"A->B,C->D", DeltaTwoDisjoint()});
+  out.push_back({"purchase(∆0)", Delta0Purchase()});
+  out.push_back({"email(∆3)", Delta3Email()});
+  out.push_back({"buyer(∆4)", Delta4Buyer()});
+  out.push_back({"order(Ex4.2-)", Example42Tractable()});
+  out.push_back({"order(Ex4.2+)", Example42Hard()});
+  out.push_back({"passport(Ex4.7)", Example47Passport()});
+  out.push_back({"zip(Ex4.7)", Example47Zip()});
+  for (int fd_class = 1; fd_class <= 5; ++fd_class) {
+    out.push_back({"class" + std::to_string(fd_class) + "(Ex3.8)",
+                   Example38Class(fd_class)});
+  }
+  return out;
+}
+
+}  // namespace fdrepair

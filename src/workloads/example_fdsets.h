@@ -1,0 +1,79 @@
+// Every named FD set the paper discusses, as ready-made (Schema, FdSet)
+// pairs. Tests assert the paper's classifications of these sets; benches
+// sweep them (E3, E6, E9, E10).
+
+#ifndef FDREPAIR_WORKLOADS_EXAMPLE_FDSETS_H_
+#define FDREPAIR_WORKLOADS_EXAMPLE_FDSETS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/fd_parser.h"
+
+namespace fdrepair {
+
+/// The running example (Example 2.2): Office(facility, room, floor, city),
+/// ∆ = {facility → city, facility room → floor}. Chain set; common lhs.
+ParsedFdSet OfficeFds();
+
+/// ∆A↔B→C (equation (1)): {A → B, B → A, B → C}. Poly for S-repairs,
+/// APX-complete for U-repairs (Theorem 4.10); MPD tractable (Comment 3.11).
+ParsedFdSet DeltaAKeyBToC();
+
+/// Example 3.1 ∆1: ssn/first/last/address/office/phone/fax — lhs marriage
+/// ({ssn}, {first, last}); tractable (Example 3.5).
+ParsedFdSet Example31Ssn();
+
+/// Table 1, the four APX-hard gadget sets over R(A, B, C).
+ParsedFdSet DeltaAtoBtoC();        // {A → B, B → C}
+ParsedFdSet DeltaAtoCfromB();      // {A → C, B → C}
+ParsedFdSet DeltaABtoCtoB();       // {AB → C, C → B}
+ParsedFdSet DeltaTriangle();       // {AB → C, AC → B, BC → A}
+
+/// {A → B, C → D}: hard for S-repairs, polynomial for U-repairs
+/// (Example 3.5 / Example 4.2) — Corollary 4.11 direction 2.
+ParsedFdSet DeltaTwoDisjoint();
+
+/// ∆0 (introduction): Purchase(product, price, buyer, email, address) with
+/// {product → price, buyer → email}.
+ParsedFdSet Delta0Purchase();
+
+/// ∆3 (introduction): {email → buyer, buyer → address} — hard both ways.
+ParsedFdSet Delta3Email();
+
+/// ∆4 (introduction): {buyer → email, email → buyer, buyer → address} —
+/// S poly, U APX-complete.
+ParsedFdSet Delta4Buyer();
+
+/// Example 4.2: {item → cost, buyer → address} and the APX-hard extension
+/// {item → cost, buyer → address, address → state}.
+ParsedFdSet Example42Tractable();
+ParsedFdSet Example42Hard();
+
+/// Example 4.7: ∆1 = {id country → passport, id passport → country} (poly);
+/// ∆2 = {state city → zip, state zip → country} (APX-complete).
+ParsedFdSet Example47Passport();
+ParsedFdSet Example47Zip();
+
+/// Example 3.8's class representatives ∆1..∆5 (Figure 2 classes 1..5).
+ParsedFdSet Example38Class(int fd_class);
+
+/// §4.4 families: ∆k = {A0…Ak → B0, B0 → C, B1 → A0, …, Bk → A0} over
+/// R(A0..Ak, B0..Bk, C) — our ratio 2(k+2) = Θ(k), KL ratio Θ(k²).
+ParsedFdSet DeltaKFamily(int k);
+
+/// ∆'k = {A0A1 → B0, A1A2 → B1, …, AkAk+1 → Bk} — our ratio Θ(k),
+/// KL ratio constant (= 9).
+ParsedFdSet DeltaPrimeKFamily(int k);
+
+/// Every named set above (except the parameterized families), with labels —
+/// convenient for sweep tests/benches.
+struct NamedFdSet {
+  std::string name;
+  ParsedFdSet parsed;
+};
+std::vector<NamedFdSet> AllNamedFdSets();
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_WORKLOADS_EXAMPLE_FDSETS_H_

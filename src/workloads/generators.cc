@@ -1,0 +1,68 @@
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+double DrawWeight(double heavy_fraction, double max_weight, Rng* rng) {
+  if (heavy_fraction > 0 && rng->Bernoulli(heavy_fraction)) {
+    return rng->UniformDouble(1.0, max_weight);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Table RandomTable(const Schema& schema, const RandomTableOptions& options,
+                  Rng* rng) {
+  FDR_CHECK(options.num_tuples >= 0 && options.domain_size >= 1);
+  Table table(schema);
+  for (int i = 0; i < options.num_tuples; ++i) {
+    std::vector<std::string> values;
+    values.reserve(schema.arity());
+    for (int a = 0; a < schema.arity(); ++a) {
+      values.push_back(
+          "v" + std::to_string(rng->UniformUint64(options.domain_size)));
+    }
+    table.AddTuple(values,
+                   DrawWeight(options.heavy_fraction, options.max_weight, rng));
+  }
+  return table;
+}
+
+Table PlantedDirtyTable(const Schema& schema, const FdSet& fds,
+                        const PlantedTableOptions& options, Rng* rng) {
+  FDR_CHECK(options.num_tuples >= 0 && options.num_entities >= 1);
+  // Entity-keyed values: every attribute value is a function of the tuple's
+  // entity, so any lhs agreement implies the same entity and hence rhs
+  // agreement — the planted table satisfies every FD (duplicates included).
+  auto entity_value = [](AttrId attr, int64_t entity) {
+    return "a" + std::to_string(attr) + "_e" + std::to_string(entity);
+  };
+  Table table(schema);
+  for (int i = 0; i < options.num_tuples; ++i) {
+    int64_t entity =
+        static_cast<int64_t>(rng->UniformUint64(options.num_entities));
+    std::vector<std::string> values;
+    values.reserve(schema.arity());
+    for (int a = 0; a < schema.arity(); ++a) {
+      values.push_back(entity_value(a, entity));
+    }
+    table.AddTuple(values,
+                   DrawWeight(options.heavy_fraction, options.max_weight, rng));
+  }
+  // Corruption: overwrite random cells with another entity's value for that
+  // attribute, creating realistic cross-entity collisions.
+  AttrSet relevant = fds.Attrs();
+  std::vector<AttrId> attrs =
+      relevant.empty() ? schema.AllAttrs().ToVector() : relevant.ToVector();
+  for (int c = 0; c < options.corruptions && table.num_tuples() > 0; ++c) {
+    int row = static_cast<int>(rng->UniformUint64(table.num_tuples()));
+    AttrId attr = attrs[rng->UniformIndex(attrs.size())];
+    int64_t entity =
+        static_cast<int64_t>(rng->UniformUint64(options.num_entities));
+    table.SetValue(row, attr, table.Intern(entity_value(attr, entity)));
+  }
+  return table;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,50 @@
+// Synthetic dirty-table generators: the workload side of every experiment.
+// All generators are deterministic functions of an explicit Rng.
+
+#ifndef FDREPAIR_WORKLOADS_GENERATORS_H_
+#define FDREPAIR_WORKLOADS_GENERATORS_H_
+
+#include "catalog/fdset.h"
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+struct RandomTableOptions {
+  int num_tuples = 100;
+  /// Values per column are drawn uniformly from {v0..v(domain_size-1)};
+  /// small domains make FD violations frequent.
+  int domain_size = 4;
+  /// With probability `heavy_fraction` a tuple gets weight
+  /// uniform[1, max_weight]; otherwise weight 1. 0 keeps it unweighted.
+  double heavy_fraction = 0.0;
+  double max_weight = 4.0;
+};
+
+/// A fully random table: uniform per-cell values. Violations arise
+/// naturally; expected violation density grows as tuples²/domain^|lhs|.
+Table RandomTable(const Schema& schema, const RandomTableOptions& options,
+                  Rng* rng);
+
+struct PlantedTableOptions {
+  int num_tuples = 100;
+  /// Number of distinct lhs "entities" per FD-closure class; controls how
+  /// often tuples collide on lhs values.
+  int num_entities = 20;
+  int domain_size = 16;
+  /// Cells corrupted after planting a consistent table (each corruption
+  /// overwrites one uniformly chosen cell with a random domain value).
+  int corruptions = 10;
+  double heavy_fraction = 0.0;
+  double max_weight = 4.0;
+};
+
+/// A table planted to satisfy ∆ — every rhs is a deterministic function of
+/// the lhs values — then corrupted with `corruptions` random cell edits.
+/// Mirrors the paper's cleaning motivation: mostly-clean data plus noise.
+Table PlantedDirtyTable(const Schema& schema, const FdSet& fds,
+                        const PlantedTableOptions& options, Rng* rng);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_WORKLOADS_GENERATORS_H_

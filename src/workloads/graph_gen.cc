@@ -1,0 +1,140 @@
+#include "workloads/graph_gen.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fdrepair {
+
+NodeWeightedGraph RandomGraph(int num_nodes, int num_edges, Rng* rng) {
+  FDR_CHECK(num_nodes >= 0);
+  NodeWeightedGraph graph(num_nodes);
+  int64_t max_edges =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1) / 2;
+  FDR_CHECK_MSG(num_edges <= max_edges,
+                "requested " << num_edges << " edges, max " << max_edges);
+  while (graph.num_edges() < num_edges) {
+    int u = static_cast<int>(rng->UniformUint64(num_nodes));
+    int v = static_cast<int>(rng->UniformUint64(num_nodes));
+    if (u != v) graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+NodeWeightedGraph RandomBoundedDegreeGraph(int num_nodes, int max_degree,
+                                           double edge_density, Rng* rng) {
+  FDR_CHECK(num_nodes >= 0 && max_degree >= 1);
+  NodeWeightedGraph graph(num_nodes);
+  int64_t target = static_cast<int64_t>(edge_density * num_nodes *
+                                        max_degree / 2.0);
+  int64_t attempts = 20 * target + 100;
+  while (target > graph.num_edges() && attempts-- > 0) {
+    int u = static_cast<int>(rng->UniformUint64(num_nodes));
+    int v = static_cast<int>(rng->UniformUint64(num_nodes));
+    if (u == v) continue;
+    if (graph.Degree(u) >= max_degree || graph.Degree(v) >= max_degree) {
+      continue;
+    }
+    graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+NodeWeightedGraph RandomTripartiteGraph(int part_size, double edge_probability,
+                                        Rng* rng) {
+  FDR_CHECK(part_size >= 1);
+  NodeWeightedGraph graph(3 * part_size);
+  for (int part1 = 0; part1 < 3; ++part1) {
+    for (int part2 = part1 + 1; part2 < 3; ++part2) {
+      for (int i = 0; i < part_size; ++i) {
+        for (int j = 0; j < part_size; ++j) {
+          if (rng->Bernoulli(edge_probability)) {
+            graph.AddEdge(part1 * part_size + i, part2 * part_size + j);
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<Triangle> EnumerateTriangles(const NodeWeightedGraph& graph,
+                                         int part_size) {
+  std::vector<Triangle> out;
+  for (int i = 0; i < part_size; ++i) {
+    for (int j = 0; j < part_size; ++j) {
+      if (!graph.HasEdge(i, part_size + j)) continue;
+      for (int k = 0; k < part_size; ++k) {
+        if (graph.HasEdge(i, 2 * part_size + k) &&
+            graph.HasEdge(part_size + j, 2 * part_size + k)) {
+          out.push_back(Triangle{"a" + std::to_string(i),
+                                 "b" + std::to_string(j),
+                                 "c" + std::to_string(k)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct TriangleEdges {
+  uint64_t ab;
+  uint64_t ac;
+  uint64_t bc;
+};
+
+uint64_t EdgeKey(int u, int v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+void PackingSearch(const std::vector<TriangleEdges>& triangles, size_t index,
+                   std::vector<uint64_t>* used, int chosen, int* best) {
+  if (index == triangles.size()) {
+    *best = std::max(*best, chosen);
+    return;
+  }
+  // Prune: even taking every remaining triangle cannot beat the best.
+  if (chosen + static_cast<int>(triangles.size() - index) <= *best) return;
+  const TriangleEdges& t = triangles[index];
+  bool free = std::find(used->begin(), used->end(), t.ab) == used->end() &&
+              std::find(used->begin(), used->end(), t.ac) == used->end() &&
+              std::find(used->begin(), used->end(), t.bc) == used->end();
+  if (free) {
+    used->push_back(t.ab);
+    used->push_back(t.ac);
+    used->push_back(t.bc);
+    PackingSearch(triangles, index + 1, used, chosen + 1, best);
+    used->resize(used->size() - 3);
+  }
+  PackingSearch(triangles, index + 1, used, chosen, best);
+}
+
+}  // namespace
+
+StatusOr<int> MaxEdgeDisjointTrianglesExact(
+    const NodeWeightedGraph& graph, const std::vector<Triangle>& triangles,
+    int part_size, int max_triangles) {
+  (void)graph;
+  if (static_cast<int>(triangles.size()) > max_triangles) {
+    return Status::ResourceExhausted(
+        "exact triangle packing limited to " + std::to_string(max_triangles) +
+        " triangles, got " + std::to_string(triangles.size()));
+  }
+  std::vector<TriangleEdges> edge_triples;
+  for (const Triangle& t : triangles) {
+    int a = std::atoi(t.a.c_str() + 1);
+    int b = part_size + std::atoi(t.b.c_str() + 1);
+    int c = 2 * part_size + std::atoi(t.c.c_str() + 1);
+    edge_triples.push_back(
+        TriangleEdges{EdgeKey(a, b), EdgeKey(a, c), EdgeKey(b, c)});
+  }
+  int best = 0;
+  std::vector<uint64_t> used;
+  PackingSearch(edge_triples, 0, &used, 0, &best);
+  return best;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,43 @@
+// Random graph workloads for the hardness gadgets: bounded-degree graphs
+// (vertex cover), tripartite graphs and triangle enumeration / exact
+// edge-disjoint triangle packing (MECT-B, Lemma A.11).
+
+#ifndef FDREPAIR_WORKLOADS_GRAPH_GEN_H_
+#define FDREPAIR_WORKLOADS_GRAPH_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "reductions/gadgets.h"
+
+namespace fdrepair {
+
+/// An Erdős–Rényi-style graph with `num_edges` distinct edges.
+NodeWeightedGraph RandomGraph(int num_nodes, int num_edges, Rng* rng);
+
+/// A random graph in which every node's degree stays <= `max_degree`
+/// (the APX-hardness of vertex cover needs bounded degree; §4.3).
+NodeWeightedGraph RandomBoundedDegreeGraph(int num_nodes, int max_degree,
+                                           double edge_density, Rng* rng);
+
+/// A random tripartite graph with parts of `part_size` nodes and the given
+/// cross-part edge probability. Nodes 0..p-1 / p..2p-1 / 2p..3p-1.
+NodeWeightedGraph RandomTripartiteGraph(int part_size, double edge_probability,
+                                        Rng* rng);
+
+/// All triangles (a, b, c) of a tripartite graph with parts as above,
+/// rendered with part-local names a<i>, b<j>, c<k> for the gadget builder.
+std::vector<Triangle> EnumerateTriangles(const NodeWeightedGraph& graph,
+                                         int part_size);
+
+/// Maximum number of edge-disjoint triangles, by exhaustive branch and
+/// bound; refuses instances with more than `max_triangles` triangles.
+StatusOr<int> MaxEdgeDisjointTrianglesExact(
+    const NodeWeightedGraph& graph, const std::vector<Triangle>& triangles,
+    int part_size, int max_triangles = 24);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_WORKLOADS_GRAPH_GEN_H_

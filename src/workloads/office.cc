@@ -1,0 +1,67 @@
+#include "workloads/office.h"
+
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+void AddOrDie(Table* table, TupleId id, const std::vector<std::string>& values,
+              double weight) {
+  Status status = table->AddTupleWithId(id, values, weight);
+  FDR_CHECK_MSG(status.ok(), status.ToString());
+}
+
+}  // namespace
+
+OfficeExample MakeOfficeExample() {
+  // Figure 1's column order (the inferred order of OfficeFds() differs).
+  Schema schema = Schema::MakeOrDie(
+      "Office", {"facility", "room", "floor", "city"});
+  FdSet fds = ParseFdSetOrDie(schema,
+                              "facility -> city; facility room -> floor");
+
+  Table table(schema);
+  AddOrDie(&table, 1, {"HQ", "322", "3", "Paris"}, 2);
+  AddOrDie(&table, 2, {"HQ", "322", "30", "Madrid"}, 1);
+  AddOrDie(&table, 3, {"HQ", "122", "1", "Madrid"}, 1);
+  AddOrDie(&table, 4, {"Lab1", "B35", "3", "London"}, 2);
+
+  auto subset = [&](std::vector<TupleId> ids) {
+    std::vector<int> rows;
+    for (TupleId id : ids) {
+      auto row = table.RowOf(id);
+      FDR_CHECK(row.ok());
+      rows.push_back(*row);
+    }
+    return table.SubsetByRows(rows);
+  };
+
+  OfficeExample example{schema,         fds,
+                        table.Clone(),  subset({2, 3, 4}),
+                        subset({1, 4}), subset({3, 4}),
+                        table.Clone(),  table.Clone(),
+                        table.Clone()};
+
+  auto set = [&](Table* t, TupleId id, const std::string& attr,
+                 const std::string& value) {
+    auto row = t->RowOf(id);
+    FDR_CHECK(row.ok());
+    auto attr_id = schema.AttributeId(attr);
+    FDR_CHECK(attr_id.ok());
+    t->SetValue(*row, *attr_id, t->Intern(value));
+  };
+
+  // U1 (Figure 1(e)): tuple 1's facility becomes F01.
+  set(&example.update_u1, 1, "facility", "F01");
+  // U2 (Figure 1(f)): tuple 2 gets floor 3 and city Paris; tuple 3 Paris.
+  set(&example.update_u2, 2, "floor", "3");
+  set(&example.update_u2, 2, "city", "Paris");
+  set(&example.update_u2, 3, "city", "Paris");
+  // U3 (Figure 1(g)): tuple 1 gets floor 30 and city Madrid.
+  set(&example.update_u3, 1, "floor", "30");
+  set(&example.update_u3, 1, "city", "Madrid");
+
+  return example;
+}
+
+}  // namespace fdrepair

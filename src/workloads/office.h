@@ -1,0 +1,32 @@
+// The Figure 1 running example, verbatim: table T over
+// Office(facility, room, floor, city) with weights, the consistent subsets
+// S1, S2, S3 and the consistent updates U1, U2, U3 of Examples 2.1–2.3.
+
+#ifndef FDREPAIR_WORKLOADS_OFFICE_H_
+#define FDREPAIR_WORKLOADS_OFFICE_H_
+
+#include "catalog/fd_parser.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// All of Figure 1. The subsets/updates share T's value pool and tuple
+/// identifiers, so DistSub / DistUpd apply directly.
+struct OfficeExample {
+  Schema schema;
+  FdSet fds;          // facility → city, facility room → floor
+  Table table;        // Figure 1(a)
+  Table subset_s1;    // Figure 1(b), dist_sub = 2 (optimal)
+  Table subset_s2;    // Figure 1(c), dist_sub = 2 (optimal)
+  Table subset_s3;    // Figure 1(d), dist_sub = 3 (1.5-optimal)
+  Table update_u1;    // Figure 1(e), dist_upd = 2 (optimal)
+  Table update_u2;    // Figure 1(f), dist_upd = 3
+  Table update_u3;    // Figure 1(g), dist_upd = 4
+};
+
+/// Builds the example; every piece checked against the paper in tests.
+OfficeExample MakeOfficeExample();
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_WORKLOADS_OFFICE_H_

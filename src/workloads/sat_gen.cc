@@ -1,0 +1,60 @@
+#include "workloads/sat_gen.h"
+
+#include <algorithm>
+
+namespace fdrepair {
+
+NonMixedFormula RandomNonMixedFormula(int num_variables, int num_clauses,
+                                      int clause_size, Rng* rng) {
+  FDR_CHECK(num_variables >= 1 && clause_size >= 1 &&
+            clause_size <= num_variables);
+  NonMixedFormula formula;
+  formula.num_variables = num_variables;
+  for (int c = 0; c < num_clauses; ++c) {
+    NonMixedFormula::Clause clause;
+    clause.positive = rng->Bernoulli(0.5);
+    while (static_cast<int>(clause.variables.size()) < clause_size) {
+      int variable = static_cast<int>(rng->UniformUint64(num_variables));
+      if (std::find(clause.variables.begin(), clause.variables.end(),
+                    variable) == clause.variables.end()) {
+        clause.variables.push_back(variable);
+      }
+    }
+    std::sort(clause.variables.begin(), clause.variables.end());
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+int SatisfiedClauses(const NonMixedFormula& formula, uint64_t assignment) {
+  int satisfied = 0;
+  for (const NonMixedFormula::Clause& clause : formula.clauses) {
+    bool ok = false;
+    for (int variable : clause.variables) {
+      bool value = (assignment >> variable) & 1;
+      if (value == clause.positive) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) ++satisfied;
+  }
+  return satisfied;
+}
+
+StatusOr<int> MaxSatisfiableClausesExact(const NonMixedFormula& formula,
+                                         int max_variables) {
+  if (formula.num_variables > max_variables) {
+    return Status::ResourceExhausted(
+        "exact MAX-SAT limited to " + std::to_string(max_variables) +
+        " variables");
+  }
+  int best = 0;
+  for (uint64_t assignment = 0;
+       assignment < (uint64_t{1} << formula.num_variables); ++assignment) {
+    best = std::max(best, SatisfiedClauses(formula, assignment));
+  }
+  return best;
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,28 @@
+// Non-mixed SAT workloads for the Lemma A.13 gadget: random formulas whose
+// clauses are all-positive or all-negative, plus an exact MAX-SAT solver
+// for ground truth.
+
+#ifndef FDREPAIR_WORKLOADS_SAT_GEN_H_
+#define FDREPAIR_WORKLOADS_SAT_GEN_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "reductions/gadgets.h"
+
+namespace fdrepair {
+
+/// A random non-mixed formula: each clause flips a fair coin for polarity
+/// and draws `clause_size` distinct variables.
+NonMixedFormula RandomNonMixedFormula(int num_variables, int num_clauses,
+                                      int clause_size, Rng* rng);
+
+/// The number of clauses `assignment` satisfies (bit i = variable i).
+int SatisfiedClauses(const NonMixedFormula& formula, uint64_t assignment);
+
+/// Exhaustive MAX-SAT over 2^num_variables assignments; num_variables <= 24.
+StatusOr<int> MaxSatisfiableClausesExact(const NonMixedFormula& formula,
+                                         int max_variables = 24);
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_WORKLOADS_SAT_GEN_H_

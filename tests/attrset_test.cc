@@ -1,0 +1,125 @@
+// Unit and property tests for AttrSet bitset algebra.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/attrset.h"
+#include "common/random.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  EXPECT_FALSE(set.Contains(0));
+}
+
+TEST(AttrSetTest, SingletonAndOf) {
+  AttrSet a = AttrSet::Singleton(3);
+  EXPECT_EQ(a.size(), 1);
+  EXPECT_TRUE(a.Contains(3));
+  AttrSet abc = AttrSet::Of({0, 2, 5});
+  EXPECT_EQ(abc.size(), 3);
+  EXPECT_TRUE(abc.Contains(0));
+  EXPECT_FALSE(abc.Contains(1));
+  EXPECT_EQ(AttrSet::Of({1, 1, 1}).size(), 1);
+}
+
+TEST(AttrSetTest, AllOf) {
+  EXPECT_TRUE(AttrSet::AllOf(0).empty());
+  EXPECT_EQ(AttrSet::AllOf(5).size(), 5);
+  EXPECT_EQ(AttrSet::AllOf(64).size(), 64);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet x = AttrSet::Of({0, 1, 2});
+  AttrSet y = AttrSet::Of({2, 3});
+  EXPECT_EQ(x.Union(y), AttrSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(x.Intersect(y), AttrSet::Of({2}));
+  EXPECT_EQ(x.Minus(y), AttrSet::Of({0, 1}));
+  EXPECT_TRUE(x.Intersects(y));
+  EXPECT_FALSE(x.Intersects(AttrSet::Of({4})));
+}
+
+TEST(AttrSetTest, SubsetRelations) {
+  AttrSet small = AttrSet::Of({1, 2});
+  AttrSet big = AttrSet::Of({0, 1, 2});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsStrictSubsetOf(big));
+  EXPECT_TRUE(big.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsStrictSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(AttrSet().IsSubsetOf(small));
+}
+
+TEST(AttrSetTest, WithWithout) {
+  AttrSet set = AttrSet::Of({1});
+  EXPECT_EQ(set.With(4), AttrSet::Of({1, 4}));
+  EXPECT_EQ(set.Without(1), AttrSet());
+  EXPECT_EQ(set.Without(9), set);
+}
+
+TEST(AttrSetTest, ToVectorOrdered) {
+  EXPECT_EQ(AttrSet::Of({5, 1, 3}).ToVector(), (std::vector<AttrId>{1, 3, 5}));
+  EXPECT_EQ(AttrSet::Of({5, 1, 3}).First(), 1);
+}
+
+TEST(AttrSetTest, ToStringRendering) {
+  EXPECT_EQ(AttrSet().ToString(), "{}");
+  EXPECT_EQ(AttrSet::Of({0, 2}).ToString(), "{0,2}");
+}
+
+TEST(AttrSetTest, ForEachAttrVisitsInOrder) {
+  std::vector<AttrId> seen;
+  ForEachAttr(AttrSet::Of({7, 0, 63}), [&](AttrId a) { seen.push_back(a); });
+  EXPECT_EQ(seen, (std::vector<AttrId>{0, 7, 63}));
+}
+
+TEST(AttrSetTest, ForEachSubsetEnumeratesAll) {
+  std::set<uint64_t> subsets;
+  ForEachSubset(AttrSet::Of({0, 2, 4}),
+                [&](AttrSet s) { subsets.insert(s.bits()); });
+  EXPECT_EQ(subsets.size(), 8u);
+  for (uint64_t bits : subsets) {
+    EXPECT_TRUE(AttrSet::FromBits(bits).IsSubsetOf(AttrSet::Of({0, 2, 4})));
+  }
+}
+
+TEST(AttrSetTest, ForEachSubsetOfEmpty) {
+  int count = 0;
+  ForEachSubset(AttrSet(), [&](AttrSet s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+// Property: algebra laws hold for random sets.
+class AttrSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AttrSetPropertyTest, AlgebraLaws) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    AttrSet x = AttrSet::FromBits(rng.Next() & 0xffff);
+    AttrSet y = AttrSet::FromBits(rng.Next() & 0xffff);
+    AttrSet z = AttrSet::FromBits(rng.Next() & 0xffff);
+    // De Morgan-ish identities within a finite universe.
+    EXPECT_EQ(x.Minus(y).Union(x.Intersect(y)), x);
+    EXPECT_EQ(x.Union(y).Intersect(z),
+              x.Intersect(z).Union(y.Intersect(z)));
+    EXPECT_EQ(x.Union(y).size() + x.Intersect(y).size(),
+              x.size() + y.size());
+    EXPECT_TRUE(x.Intersect(y).IsSubsetOf(x));
+    EXPECT_TRUE(x.IsSubsetOf(x.Union(y)));
+    EXPECT_EQ(x.Minus(y).Intersect(y), AttrSet());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttrSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,111 @@
+// Tests for the Figure-2 classifier: Example 3.8's representatives land in
+// classes 1..5, the paper's named hard sets classify as their lemmas
+// require, and every randomly generated stuck FD set classifies somewhere.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "srepair/class_classifier.h"
+#include "srepair/osr_succeeds.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(ClassClassifierTest, Example38Representatives) {
+  for (int fd_class = 1; fd_class <= 5; ++fd_class) {
+    ParsedFdSet parsed = Example38Class(fd_class);
+    auto result = ClassifyNonSimplifiable(parsed.fds);
+    ASSERT_TRUE(result.ok()) << "class " << fd_class << ": "
+                             << result.status();
+    EXPECT_EQ(result->fd_class, fd_class)
+        << parsed.fds.ToString(parsed.schema);
+  }
+}
+
+TEST(ClassClassifierTest, GadgetsForClasses) {
+  EXPECT_EQ(ClassifyNonSimplifiable(Example38Class(1).fds)->gadget,
+            HardGadget::kAtoCfromB);
+  EXPECT_EQ(ClassifyNonSimplifiable(Example38Class(2).fds)->gadget,
+            HardGadget::kAtoBtoC);
+  EXPECT_EQ(ClassifyNonSimplifiable(Example38Class(3).fds)->gadget,
+            HardGadget::kAtoBtoC);
+  EXPECT_EQ(ClassifyNonSimplifiable(Example38Class(4).fds)->gadget,
+            HardGadget::kTriangle);
+  EXPECT_EQ(ClassifyNonSimplifiable(Example38Class(5).fds)->gadget,
+            HardGadget::kABtoCtoB);
+}
+
+TEST(ClassClassifierTest, Table1SetsClassify) {
+  // The gadget sets themselves are stuck and must classify.
+  for (const ParsedFdSet& parsed :
+       {DeltaAtoBtoC(), DeltaAtoCfromB(), DeltaABtoCtoB(), DeltaTriangle()}) {
+    auto result = ClassifyNonSimplifiable(parsed.fds);
+    ASSERT_TRUE(result.ok()) << parsed.fds.ToString();
+    EXPECT_GE(result->fd_class, 1);
+    EXPECT_LE(result->fd_class, 5);
+  }
+}
+
+TEST(ClassClassifierTest, Class4ReportsThirdMinimum) {
+  auto result = ClassifyNonSimplifiable(DeltaTriangle().fds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fd_class, 4);
+  ASSERT_TRUE(result->x3.has_value());
+  EXPECT_NE(result->x1, result->x2);
+  EXPECT_NE(result->x1, *result->x3);
+  EXPECT_NE(result->x2, *result->x3);
+}
+
+TEST(ClassClassifierTest, RejectsSimplifiableSets) {
+  EXPECT_EQ(ClassifyNonSimplifiable(OfficeFds().fds).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ClassifyNonSimplifiable(FdSet()).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ClassifyNonSimplifiable(DeltaAKeyBToC().fds).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ClassClassifierTest, Class5OrientationMatchesLemmaA17) {
+  // Lemma A.17 requires (X2 ∖ X1) ⊄ X̂1 under the returned orientation.
+  for (const ParsedFdSet& parsed : {Example38Class(5), DeltaABtoCtoB()}) {
+    auto result = ClassifyNonSimplifiable(parsed.fds);
+    ASSERT_TRUE(result.ok());
+    if (result->fd_class != 5) continue;
+    FdSet delta = parsed.fds.WithoutTrivial();
+    AttrSet hat1 = delta.Closure(result->x1).Minus(result->x1);
+    EXPECT_FALSE(result->x2.Minus(result->x1).IsSubsetOf(hat1));
+  }
+}
+
+// Property: every stuck residual of a random FD set classifies into 1..5.
+class ClassifierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClassifierPropertyTest, StuckSetsAlwaysClassify) {
+  Rng rng(GetParam());
+  int stuck_seen = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<Fd> fds;
+    int count = 2 + static_cast<int>(rng.UniformUint64(4));
+    for (int f = 0; f < count; ++f) {
+      AttrSet lhs = AttrSet::FromBits(rng.Next() & 0x1f);
+      fds.emplace_back(lhs, static_cast<AttrId>(rng.UniformUint64(5)));
+    }
+    OsrTrace trace = RunOsrSucceeds(FdSet::FromFds(fds));
+    if (trace.succeeds) continue;
+    ++stuck_seen;
+    auto result = ClassifyNonSimplifiable(trace.stuck_fds);
+    ASSERT_TRUE(result.ok())
+        << trace.stuck_fds.ToString() << ": " << result.status();
+    EXPECT_GE(result->fd_class, 1);
+    EXPECT_LE(result->fd_class, 5);
+    if (result->fd_class == 4) EXPECT_TRUE(result->x3.has_value());
+  }
+  EXPECT_GT(stuck_seen, 20);  // the sweep actually exercised the hard side
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierPropertyTest,
+                         ::testing::Values(31, 37, 41, 43));
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,199 @@
+// Tests for the fact-wise reductions (Lemmas A.14–A.18): injectivity and
+// pair-consistency preservation — the two properties that make them strict
+// reductions (Lemma 3.7) — checked on the paper's example sets and on
+// random stuck FD sets.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "reductions/factwise.h"
+#include "srepair/osr_succeeds.h"
+#include "srepair/srepair_exact.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+// The source gadget FD set for a classification.
+FdSet GadgetFds(HardGadget gadget) {
+  switch (gadget) {
+    case HardGadget::kAtoCfromB:
+      return DeltaAtoCfromB().fds;
+    case HardGadget::kAtoBtoC:
+      return DeltaAtoBtoC().fds;
+    case HardGadget::kTriangle:
+      return DeltaTriangle().fds;
+    case HardGadget::kABtoCtoB:
+      return DeltaABtoCtoB().fds;
+  }
+  FDR_CHECK(false);
+  return FdSet();
+}
+
+// Runs the Lemma 3.7 property check for one stuck FD set: map random gadget
+// tuples, assert injectivity and pairwise consistency preservation.
+void CheckFactwiseProperties(const Schema& schema, const FdSet& stuck,
+                             uint64_t seed) {
+  auto classification = ClassifyNonSimplifiable(stuck);
+  ASSERT_TRUE(classification.ok()) << stuck.ToString();
+  FdSet source_fds = GadgetFds(classification->gadget);
+  Schema source_schema = Schema::Anonymous(3);
+
+  Rng rng(seed);
+  // A small universe of gadget tuples (values from a 3-symbol domain makes
+  // agreements frequent).
+  std::vector<std::vector<std::string>> tuples;
+  for (int i = 0; i < 40; ++i) {
+    tuples.push_back({"x" + std::to_string(rng.UniformUint64(3)),
+                      "y" + std::to_string(rng.UniformUint64(3)),
+                      "z" + std::to_string(rng.UniformUint64(3))});
+  }
+
+  // Build source and mapped tables in parallel.
+  Table source(source_schema);
+  Table mapped(schema);
+  std::set<std::vector<std::string>> seen_sources;
+  std::set<std::vector<std::string>> seen_images;
+  int distinct = 0;
+  for (const auto& tuple : tuples) {
+    auto image = MapGadgetTuple(*classification, stuck, schema, tuple[0],
+                                tuple[1], tuple[2]);
+    ASSERT_TRUE(image.ok()) << image.status();
+    bool new_source = seen_sources.insert(tuple).second;
+    bool new_image = seen_images.insert(*image).second;
+    // Injectivity: a new source tuple yields a new image and vice versa.
+    EXPECT_EQ(new_source, new_image) << stuck.ToString();
+    if (new_source) ++distinct;
+    source.AddTuple(tuple);
+    ASSERT_TRUE(mapped.AddTupleWithId(source.id(source.num_tuples() - 1),
+                                      *image, 1.0)
+                    .ok());
+  }
+  ASSERT_GT(distinct, 5);
+
+  // Pairwise consistency preservation.
+  for (int i = 0; i < source.num_tuples(); ++i) {
+    for (int j = i + 1; j < source.num_tuples(); ++j) {
+      bool source_ok =
+          PairConsistent(source.tuple(i), source.tuple(j), source_fds);
+      bool mapped_ok = PairConsistent(mapped.tuple(i), mapped.tuple(j), stuck);
+      EXPECT_EQ(source_ok, mapped_ok)
+          << stuck.ToString() << "\n source pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(FactwiseTest, Example38ClassesPreserveConsistency) {
+  for (int fd_class = 1; fd_class <= 5; ++fd_class) {
+    ParsedFdSet parsed = Example38Class(fd_class);
+    CheckFactwiseProperties(parsed.schema, parsed.fds.WithoutTrivial(),
+                            1000 + fd_class);
+  }
+}
+
+TEST(FactwiseTest, Table1SelfReductions) {
+  // The gadget sets are stuck; reducing them onto themselves must work too.
+  for (const ParsedFdSet& parsed :
+       {DeltaAtoBtoC(), DeltaAtoCfromB(), DeltaABtoCtoB(), DeltaTriangle()}) {
+    CheckFactwiseProperties(parsed.schema, parsed.fds, 77);
+  }
+}
+
+TEST(FactwiseTest, NamedHardSets) {
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    OsrTrace trace = RunOsrSucceeds(named.parsed.fds);
+    if (trace.succeeds) continue;
+    CheckFactwiseProperties(named.parsed.schema, trace.stuck_fds, 55);
+  }
+}
+
+class FactwisePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FactwisePropertyTest, RandomStuckSets) {
+  Rng rng(GetParam());
+  Schema schema = Schema::Anonymous(5);
+  int checked = 0;
+  for (int trial = 0; trial < 200 && checked < 12; ++trial) {
+    std::vector<Fd> fds;
+    int count = 2 + static_cast<int>(rng.UniformUint64(4));
+    for (int f = 0; f < count; ++f) {
+      fds.emplace_back(AttrSet::FromBits(rng.Next() & 0x1f),
+                       static_cast<AttrId>(rng.UniformUint64(5)));
+    }
+    OsrTrace trace = RunOsrSucceeds(FdSet::FromFds(fds));
+    if (trace.succeeds) continue;
+    ++checked;
+    CheckFactwiseProperties(schema, trace.stuck_fds, rng.Next());
+  }
+  EXPECT_GE(checked, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactwisePropertyTest,
+                         ::testing::Values(211, 223, 227));
+
+// Lemma 3.7 end to end: a fact-wise reduction is a *strict* reduction, so
+// the optimal S-repair distance of a gadget table equals the optimal
+// S-repair distance of its image (identifiers and weights carry over).
+TEST(FactwiseTest, StrictReductionPreservesOptimalDistance) {
+  Rng rng(2027);
+  for (int fd_class = 1; fd_class <= 5; ++fd_class) {
+    ParsedFdSet target = Example38Class(fd_class);
+    FdSet stuck = target.fds.WithoutTrivial();
+    auto classification = ClassifyNonSimplifiable(stuck);
+    ASSERT_TRUE(classification.ok());
+    FdSet source_fds = GadgetFds(classification->gadget);
+    for (int trial = 0; trial < 4; ++trial) {
+      Table source(Schema::Anonymous(3));
+      int n = 6 + static_cast<int>(rng.UniformUint64(5));
+      for (int i = 0; i < n; ++i) {
+        source.AddTuple({"x" + std::to_string(rng.UniformUint64(3)),
+                         "y" + std::to_string(rng.UniformUint64(3)),
+                         "z" + std::to_string(rng.UniformUint64(3))},
+                        1.0 + static_cast<double>(rng.UniformUint64(3)));
+      }
+      auto mapped = ApplyClassReduction(*classification, stuck, target.schema,
+                                        source);
+      ASSERT_TRUE(mapped.ok()) << mapped.status();
+      auto source_repair = OptSRepairExact(source_fds, source, 64);
+      auto mapped_repair = OptSRepairExact(stuck, *mapped, 64);
+      ASSERT_TRUE(source_repair.ok() && mapped_repair.ok());
+      EXPECT_NEAR(DistSubOrDie(*source_repair, source),
+                  DistSubOrDie(*mapped_repair, *mapped), 1e-9)
+          << "class " << fd_class << " trial " << trial;
+    }
+  }
+}
+
+TEST(FactwiseTest, AttributeElimination) {
+  // Lemma A.18 on the office set: eliminate `facility`, map, and verify
+  // pairwise consistency transfer between ∆ − facility and ∆.
+  ParsedFdSet office = OfficeFds();
+  AttrId facility = *office.schema.AttributeId("facility");
+  FdSet reduced = office.fds.MinusAttrs(AttrSet::Of({facility}));
+
+  Table source(office.schema);
+  Rng rng(99);
+  for (int i = 0; i < 30; ++i) {
+    source.AddTuple({"f" + std::to_string(rng.UniformUint64(2)),
+                     "r" + std::to_string(rng.UniformUint64(2)),
+                     std::to_string(rng.UniformUint64(2)),
+                     "c" + std::to_string(rng.UniformUint64(2))});
+  }
+  Table mapped =
+      ApplyAttributeEliminationReduction(source, AttrSet::Of({facility}));
+  ASSERT_EQ(mapped.num_tuples(), source.num_tuples());
+  for (int i = 0; i < source.num_tuples(); ++i) {
+    EXPECT_EQ(mapped.ValueText(i, facility), kFactwiseConstant);
+    for (int j = i + 1; j < source.num_tuples(); ++j) {
+      EXPECT_EQ(PairConsistent(source.tuple(i), source.tuple(j), reduced),
+                PairConsistent(mapped.tuple(i), mapped.tuple(j), office.fds));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,213 @@
+// Tests for FdSet: closures, entailment, the structural predicates of §2.2
+// and the ∆ − X operation — including the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include "catalog/fd_parser.h"
+#include "catalog/fdset.h"
+#include "common/random.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+FdSet Parse(const Schema& schema, const char* text) {
+  return ParseFdSetOrDie(schema, text);
+}
+
+TEST(FdSetTest, ClosureFixpoint) {
+  Schema schema = Schema::Anonymous(4);
+  FdSet fds = Parse(schema, "A -> B; B -> C");
+  EXPECT_EQ(fds.Closure(AttrSet::Of({0})), AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(fds.Closure(AttrSet::Of({1})), AttrSet::Of({1, 2}));
+  EXPECT_EQ(fds.Closure(AttrSet::Of({3})), AttrSet::Of({3}));
+  EXPECT_EQ(fds.Closure(AttrSet()), AttrSet());
+}
+
+TEST(FdSetTest, EntailmentAndEquivalence) {
+  Schema schema = Schema::Anonymous(3);
+  FdSet fds = Parse(schema, "A -> B; B -> C");
+  EXPECT_TRUE(fds.Entails(Fd(AttrSet::Of({0}), 2)));       // A -> C
+  EXPECT_FALSE(fds.Entails(Fd(AttrSet::Of({2}), 0)));      // C -> A
+  EXPECT_TRUE(fds.Entails(Fd(AttrSet::Of({0, 2}), 0)));    // trivial
+  FdSet equivalent = Parse(schema, "A -> B; B -> C; A -> C");
+  EXPECT_TRUE(fds.EquivalentTo(equivalent));
+  FdSet different = Parse(schema, "A -> B");
+  EXPECT_FALSE(fds.EquivalentTo(different));
+}
+
+TEST(FdSetTest, TrivialDetection) {
+  Schema schema = Schema::Anonymous(3);
+  EXPECT_TRUE(FdSet().IsTrivial());
+  EXPECT_TRUE(Parse(schema, "A B -> A").IsTrivial());
+  EXPECT_FALSE(Parse(schema, "A -> B").IsTrivial());
+  FdSet mixed = Parse(schema, "A B -> A; A -> C");
+  EXPECT_FALSE(mixed.IsTrivial());
+  EXPECT_EQ(mixed.WithoutTrivial().size(), 1);
+}
+
+TEST(FdSetTest, ConsensusAttrs) {
+  Schema schema = Schema::Anonymous(3);
+  FdSet fds = Parse(schema, "{} -> A; A -> B");
+  EXPECT_EQ(fds.ConsensusAttrs(), AttrSet::Of({0, 1}));  // ∅ -> A forces B too
+  EXPECT_FALSE(fds.IsConsensusFree());
+  EXPECT_TRUE(Parse(schema, "A -> B").IsConsensusFree());
+}
+
+TEST(FdSetTest, CommonLhs) {
+  Schema schema = Schema::Anonymous(4);
+  // The running example shape: facility common to both lhs's.
+  FdSet fds = Parse(schema, "A -> D; A B -> C");
+  auto common = fds.FindCommonLhsAttr();
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, 0);
+  EXPECT_FALSE(Parse(schema, "A -> B; C -> D").FindCommonLhsAttr());
+  EXPECT_FALSE(Parse(schema, "{} -> A; A -> B").FindCommonLhsAttr());
+  EXPECT_FALSE(FdSet().FindCommonLhsAttr().has_value());
+}
+
+TEST(FdSetTest, FindConsensusFd) {
+  Schema schema = Schema::Anonymous(3);
+  auto consensus = Parse(schema, "{} -> B; A -> C").FindConsensusFd();
+  ASSERT_TRUE(consensus.has_value());
+  EXPECT_EQ(consensus->rhs, 1);
+  EXPECT_FALSE(Parse(schema, "A -> C").FindConsensusFd());
+}
+
+TEST(FdSetTest, LhsMarriageSimple) {
+  // ∆A↔B→C (equation (1)): ({A}, {B}) is an lhs marriage.
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  auto marriage = parsed.fds.FindLhsMarriage();
+  ASSERT_TRUE(marriage.has_value());
+  EXPECT_EQ(marriage->x1.Union(marriage->x2), AttrSet::Of({0, 1}));
+}
+
+TEST(FdSetTest, LhsMarriageExample31) {
+  // Example 3.1 ∆1: ({ssn}, {first, last}) is an lhs marriage.
+  ParsedFdSet parsed = Example31Ssn();
+  auto marriage = parsed.fds.FindLhsMarriage();
+  ASSERT_TRUE(marriage.has_value());
+  AttrId ssn = *parsed.schema.AttributeId("ssn");
+  AttrId first = *parsed.schema.AttributeId("first");
+  AttrId last = *parsed.schema.AttributeId("last");
+  AttrSet small = marriage->x1.size() <= marriage->x2.size() ? marriage->x1
+                                                             : marriage->x2;
+  AttrSet large = marriage->x1.size() <= marriage->x2.size() ? marriage->x2
+                                                             : marriage->x1;
+  EXPECT_EQ(small, AttrSet::Of({ssn}));
+  EXPECT_EQ(large, AttrSet::Of({first, last}));
+}
+
+TEST(FdSetTest, NoMarriageForChainedFds) {
+  Schema schema = Schema::Anonymous(4);
+  EXPECT_FALSE(Parse(schema, "A -> B; B -> C").FindLhsMarriage());
+  EXPECT_FALSE(Parse(schema, "A -> B; C -> D").FindLhsMarriage().has_value());
+}
+
+TEST(FdSetTest, MinusAttrs) {
+  Schema schema = Schema::Anonymous(4);
+  FdSet fds = Parse(schema, "A B -> C; A -> D; C -> A");
+  FdSet minus_a = fds.MinusAttrs(AttrSet::Of({0}));
+  // A removed everywhere: B -> C, {} -> D survive; C -> A disappears.
+  EXPECT_EQ(minus_a, Parse(schema, "B -> C; {} -> D"));
+  // Removing C drops the FD with rhs C and shrinks the lhs of C -> A.
+  FdSet minus_c = fds.MinusAttrs(AttrSet::Of({2}));
+  EXPECT_EQ(minus_c, Parse(schema, "A -> D; {} -> A"));
+}
+
+TEST(FdSetTest, MinusAttrsMatchesExample35) {
+  // {facility→city, facility room→floor} − facility = {∅→city, room→floor}.
+  ParsedFdSet office = OfficeFds();
+  AttrId facility = *office.schema.AttributeId("facility");
+  FdSet reduced = office.fds.MinusAttrs(AttrSet::Of({facility}));
+  FdSet expected = ParseFdSetOrDie(office.schema, "{} -> city; room -> floor");
+  EXPECT_EQ(reduced, expected);
+}
+
+TEST(FdSetTest, ChainDetection) {
+  Schema schema = Schema::Anonymous(4);
+  // The running example is a chain: {facility} ⊆ {facility, room}.
+  EXPECT_TRUE(Parse(schema, "A -> D; A B -> C").IsChain());
+  EXPECT_TRUE(Parse(schema, "{} -> A; A -> B; A B -> C").IsChain());
+  EXPECT_FALSE(Parse(schema, "A -> B; C -> D").IsChain());
+  EXPECT_FALSE(Parse(schema, "A -> B; B -> C").IsChain());
+  EXPECT_TRUE(FdSet().IsChain());
+}
+
+TEST(FdSetTest, LocalMinima) {
+  Schema schema = Schema::Anonymous(4);
+  FdSet fds = Parse(schema, "A -> B; A C -> D; B -> C");
+  std::vector<Fd> minima = fds.LocalMinima();
+  // {A} and {B} are minimal; {A, C} contains {A}.
+  ASSERT_EQ(minima.size(), 2u);
+  EXPECT_EQ(minima[0].lhs, AttrSet::Of({0}));
+  EXPECT_EQ(minima[1].lhs, AttrSet::Of({1}));
+}
+
+TEST(FdSetTest, DistinctLhss) {
+  Schema schema = Schema::Anonymous(4);
+  FdSet fds = Parse(schema, "A -> B; A -> C; B -> D");
+  EXPECT_EQ(fds.DistinctLhss().size(), 2u);
+}
+
+TEST(FdSetTest, AttributeDisjointComponents) {
+  Schema schema = Schema::Anonymous(6);
+  FdSet fds = Parse(schema, "A -> B C; C -> D; E -> F");
+  std::vector<FdSet> components = fds.AttributeDisjointComponents();
+  ASSERT_EQ(components.size(), 2u);
+  // {A→BC, C→D} connect through C; {E→F} is separate.
+  int sizes[2] = {components[0].size(), components[1].size()};
+  EXPECT_EQ(sizes[0] + sizes[1], 4);
+  for (const FdSet& component : components) {
+    for (const FdSet& other : components) {
+      if (&component != &other) {
+        EXPECT_FALSE(component.Attrs().Intersects(other.Attrs()));
+      }
+    }
+  }
+}
+
+TEST(FdSetTest, RestrictTo) {
+  Schema schema = Schema::Anonymous(4);
+  FdSet fds = Parse(schema, "A -> B; C -> D");
+  EXPECT_EQ(fds.RestrictTo(AttrSet::Of({0, 1})), Parse(schema, "A -> B"));
+  EXPECT_EQ(fds.RestrictTo(AttrSet::Of({0})), FdSet());
+}
+
+// Property: closure is monotone, extensive and idempotent for random sets.
+class ClosurePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosurePropertyTest, ClosureLaws) {
+  Rng rng(GetParam());
+  Schema schema = Schema::Anonymous(6);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random FD set with 1..5 FDs over 6 attributes.
+    std::vector<Fd> fds;
+    int count = 1 + static_cast<int>(rng.UniformUint64(5));
+    for (int f = 0; f < count; ++f) {
+      AttrSet lhs = AttrSet::FromBits(rng.Next() & 0x3f);
+      AttrId rhs = static_cast<AttrId>(rng.UniformUint64(6));
+      fds.emplace_back(lhs, rhs);
+    }
+    FdSet delta = FdSet::FromFds(fds);
+    AttrSet x = AttrSet::FromBits(rng.Next() & 0x3f);
+    AttrSet y = AttrSet::FromBits(rng.Next() & 0x3f);
+    AttrSet cx = delta.Closure(x);
+    EXPECT_TRUE(x.IsSubsetOf(cx));                      // extensive
+    EXPECT_EQ(delta.Closure(cx), cx);                   // idempotent
+    if (x.IsSubsetOf(y)) {
+      EXPECT_TRUE(cx.IsSubsetOf(delta.Closure(y)));     // monotone
+    }
+    // Every FD is entailed by its own set.
+    for (const Fd& fd : delta.fds()) EXPECT_TRUE(delta.Entails(fd));
+    // ∆ − X never mentions X.
+    AttrSet removed = AttrSet::FromBits(rng.Next() & 0x3f);
+    EXPECT_FALSE(delta.MinusAttrs(removed).Attrs().Intersects(removed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosurePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,160 @@
+// Tests for the workload generators: determinism, planted consistency,
+// corruption effect, graph and formula generators.
+
+#include <gtest/gtest.h>
+
+#include "srepair/srepair_vc_approx.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+#include "workloads/graph_gen.h"
+#include "workloads/sat_gen.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(GeneratorsTest, RandomTableDeterministic) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  RandomTableOptions options;
+  options.num_tuples = 20;
+  Rng rng1(42), rng2(42);
+  Table a = RandomTable(parsed.schema, options, &rng1);
+  Table b = RandomTable(parsed.schema, options, &rng2);
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  for (int row = 0; row < a.num_tuples(); ++row) {
+    for (int attr = 0; attr < a.schema().arity(); ++attr) {
+      EXPECT_EQ(a.ValueText(row, attr), b.ValueText(row, attr));
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomTableWeights) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  RandomTableOptions options;
+  options.num_tuples = 50;
+  options.heavy_fraction = 1.0;
+  options.max_weight = 3.0;
+  Rng rng(7);
+  Table table = RandomTable(parsed.schema, options, &rng);
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    EXPECT_GE(table.weight(row), 1.0);
+    EXPECT_LE(table.weight(row), 3.0);
+  }
+}
+
+TEST(GeneratorsTest, PlantedTableConsistentBeforeCorruption) {
+  ParsedFdSet office = OfficeFds();
+  PlantedTableOptions options;
+  options.num_tuples = 80;
+  options.corruptions = 0;
+  Rng rng(11);
+  Table table = PlantedDirtyTable(office.schema, office.fds, options, &rng);
+  EXPECT_TRUE(Satisfies(table, office.fds));
+}
+
+TEST(GeneratorsTest, CorruptionDamageIsBounded) {
+  // Untouched tuples stay mutually consistent, so deleting the (at most
+  // `corruptions`) touched tuples repairs the table: the optimal S-repair
+  // distance is <= corruptions, and the 2-approximation <= 2·corruptions.
+  ParsedFdSet office = OfficeFds();
+  PlantedTableOptions options;
+  options.num_tuples = 80;
+  options.corruptions = 12;
+  Rng rng(13);
+  Table table = PlantedDirtyTable(office.schema, office.fds, options, &rng);
+  Table repair = SRepairVcApprox(office.fds, table);
+  EXPECT_TRUE(Satisfies(repair, office.fds));
+  EXPECT_LE(DistSubOrDie(repair, table), 2.0 * options.corruptions);
+}
+
+TEST(GraphGenTest, RandomGraphHasRequestedEdges) {
+  Rng rng(5);
+  NodeWeightedGraph graph = RandomGraph(10, 15, &rng);
+  EXPECT_EQ(graph.num_nodes(), 10);
+  EXPECT_EQ(graph.num_edges(), 15);
+}
+
+TEST(GraphGenTest, BoundedDegreeRespected) {
+  Rng rng(6);
+  NodeWeightedGraph graph = RandomBoundedDegreeGraph(30, 3, 0.9, &rng);
+  EXPECT_LE(graph.MaxDegree(), 3);
+  EXPECT_GT(graph.num_edges(), 0);
+}
+
+TEST(GraphGenTest, TripartiteOnlyCrossEdges) {
+  Rng rng(8);
+  NodeWeightedGraph graph = RandomTripartiteGraph(5, 0.5, &rng);
+  for (const auto& [u, v] : graph.edges()) {
+    EXPECT_NE(u / 5, v / 5);  // endpoints in different parts
+  }
+}
+
+TEST(GraphGenTest, TriangleEnumerationMatchesEdges) {
+  // A fixed tripartite graph with exactly one triangle.
+  NodeWeightedGraph graph(6);  // parts {0,1}, {2,3}, {4,5}
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 4);
+  graph.AddEdge(2, 4);
+  graph.AddEdge(1, 3);  // no closing edge: not a triangle
+  std::vector<Triangle> triangles = EnumerateTriangles(graph, 2);
+  ASSERT_EQ(triangles.size(), 1u);
+  EXPECT_EQ(triangles[0].a, "a0");
+  EXPECT_EQ(triangles[0].b, "b0");
+  EXPECT_EQ(triangles[0].c, "c0");
+  auto packing = MaxEdgeDisjointTrianglesExact(graph, triangles, 2);
+  ASSERT_TRUE(packing.ok());
+  EXPECT_EQ(*packing, 1);
+}
+
+TEST(GraphGenTest, PackingDisjointness) {
+  // Two triangles sharing the a0-b0 edge: only one fits.
+  NodeWeightedGraph graph(9);  // parts of size 3
+  graph.AddEdge(0, 3);          // a0-b0
+  graph.AddEdge(0, 6);          // a0-c0
+  graph.AddEdge(3, 6);          // b0-c0
+  graph.AddEdge(0, 7);          // a0-c1
+  graph.AddEdge(3, 7);          // b0-c1
+  std::vector<Triangle> triangles = EnumerateTriangles(graph, 3);
+  ASSERT_EQ(triangles.size(), 2u);
+  auto packing = MaxEdgeDisjointTrianglesExact(graph, triangles, 3);
+  ASSERT_TRUE(packing.ok());
+  EXPECT_EQ(*packing, 1);
+}
+
+TEST(SatGenTest, NonMixedClausesArePure) {
+  Rng rng(9);
+  NonMixedFormula formula = RandomNonMixedFormula(6, 10, 3, &rng);
+  EXPECT_EQ(formula.clauses.size(), 10u);
+  for (const auto& clause : formula.clauses) {
+    EXPECT_EQ(clause.variables.size(), 3u);
+    for (int v : clause.variables) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 6);
+    }
+  }
+}
+
+TEST(SatGenTest, SatisfiedClausesAndExactMaxSat) {
+  // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): any non-constant assignment satisfies both.
+  NonMixedFormula formula;
+  formula.num_variables = 2;
+  formula.clauses.push_back({true, {0, 1}});
+  formula.clauses.push_back({false, {0, 1}});
+  EXPECT_EQ(SatisfiedClauses(formula, 0b01), 2);
+  EXPECT_EQ(SatisfiedClauses(formula, 0b11), 1);
+  EXPECT_EQ(SatisfiedClauses(formula, 0b00), 1);
+  auto best = MaxSatisfiableClausesExact(formula);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, 2);
+}
+
+TEST(SatGenTest, ExactMaxSatGuard) {
+  NonMixedFormula formula;
+  formula.num_variables = 30;
+  EXPECT_EQ(MaxSatisfiableClausesExact(formula, 24).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,216 @@
+// Tests for the graph substrate: min-cost flow, max-weight bipartite
+// matching (vs brute force), weighted vertex cover (local-ratio guarantee vs
+// exact), and the conflict graph.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/fd_parser.h"
+#include "common/random.h"
+#include "graph/bipartite_matching.h"
+#include "graph/conflict_graph.h"
+#include "graph/graph.h"
+#include "graph/min_cost_flow.h"
+#include "graph/vertex_cover.h"
+#include "storage/table.h"
+#include "workloads/graph_gen.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(GraphTest, EdgesDedupAndAdjacency) {
+  NodeWeightedGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);  // duplicate
+  graph.AddEdge(2, 3);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+  EXPECT_EQ(graph.Degree(1), 1);
+  EXPECT_EQ(graph.MaxDegree(), 1);
+  graph.set_weight(2, 5);
+  EXPECT_DOUBLE_EQ(graph.WeightOf({2, 3}), 6);
+}
+
+TEST(GraphTest, IsVertexCover) {
+  NodeWeightedGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  EXPECT_TRUE(IsVertexCover(graph, {1}));
+  EXPECT_FALSE(IsVertexCover(graph, {0}));
+  EXPECT_TRUE(IsVertexCover(graph, {0, 2}));
+}
+
+TEST(MinCostFlowTest, SimplePath) {
+  // 0 -> 1 -> 2, capacities 1, costs 1 and 2.
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 1, 1);
+  flow.AddEdge(1, 2, 1, 2);
+  auto result = flow.Solve(0, 2);
+  EXPECT_DOUBLE_EQ(result.flow, 1);
+  EXPECT_DOUBLE_EQ(result.cost, 3);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperParallelRoute) {
+  MinCostFlow flow(4);
+  int cheap = flow.AddEdge(0, 1, 1, 1);
+  int expensive = flow.AddEdge(0, 2, 1, 5);
+  flow.AddEdge(1, 3, 1, 0);
+  flow.AddEdge(2, 3, 1, 0);
+  auto result = flow.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(result.flow, 2);
+  EXPECT_DOUBLE_EQ(result.cost, 6);
+  EXPECT_DOUBLE_EQ(flow.Flow(cheap), 1);
+  EXPECT_DOUBLE_EQ(flow.Flow(expensive), 1);
+}
+
+TEST(MinCostFlowTest, StopsOnNonNegativePath) {
+  // With negated weights, only profitable augmentations are taken.
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 1, 0);
+  flow.AddEdge(0, 2, 1, 0);
+  int good = flow.AddEdge(1, 3, 1, -5);
+  int bad = flow.AddEdge(2, 3, 1, 3);
+  auto result = flow.Solve(0, 3, /*stop_on_nonnegative_path=*/true);
+  EXPECT_DOUBLE_EQ(result.flow, 1);
+  EXPECT_DOUBLE_EQ(result.cost, -5);
+  EXPECT_DOUBLE_EQ(flow.Flow(good), 1);
+  EXPECT_DOUBLE_EQ(flow.Flow(bad), 0);
+}
+
+TEST(MatchingTest, PicksHeavierAlternative) {
+  // Two left nodes both prefer right node 0; weights force a swap.
+  std::vector<BipartiteEdge> edges{{0, 0, 10}, {1, 0, 9}, {1, 1, 8}};
+  MatchingResult result = MaxWeightBipartiteMatching(2, 2, edges);
+  EXPECT_DOUBLE_EQ(result.total_weight, 18);
+  EXPECT_EQ(result.pairs.size(), 2u);
+}
+
+TEST(MatchingTest, MaxWeightNotMaxCardinality) {
+  // One heavy edge beats two light ones sharing its endpoints.
+  std::vector<BipartiteEdge> edges{{0, 0, 10}, {0, 1, 1}, {1, 0, 1}};
+  MatchingResult result = MaxWeightBipartiteMatching(2, 2, edges);
+  EXPECT_DOUBLE_EQ(result.total_weight, 10);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], (std::pair<int, int>(0, 0)));
+}
+
+TEST(MatchingTest, DuplicateEdgesKeepHeaviest) {
+  std::vector<BipartiteEdge> edges{{0, 0, 1}, {0, 0, 7}};
+  MatchingResult result = MaxWeightBipartiteMatching(1, 1, edges);
+  EXPECT_DOUBLE_EQ(result.total_weight, 7);
+}
+
+TEST(MatchingTest, EmptyInputs) {
+  MatchingResult result = MaxWeightBipartiteMatching(0, 0, {});
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_DOUBLE_EQ(result.total_weight, 0);
+}
+
+class MatchingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingPropertyTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    int num_left = 1 + static_cast<int>(rng.UniformUint64(5));
+    int num_right = 1 + static_cast<int>(rng.UniformUint64(5));
+    int num_edges = static_cast<int>(rng.UniformUint64(13));
+    std::vector<BipartiteEdge> edges;
+    for (int e = 0; e < num_edges; ++e) {
+      edges.push_back(
+          BipartiteEdge{static_cast<int>(rng.UniformUint64(num_left)),
+                        static_cast<int>(rng.UniformUint64(num_right)),
+                        rng.UniformDouble(0.1, 10.0)});
+    }
+    MatchingResult fast = MaxWeightBipartiteMatching(num_left, num_right,
+                                                     edges);
+    auto slow = MaxWeightMatchingBruteForce(num_left, num_right, edges);
+    ASSERT_TRUE(slow.ok());
+    EXPECT_NEAR(fast.total_weight, slow->total_weight, 1e-6)
+        << "trial " << trial;
+    // Validity: no node reused.
+    std::vector<int> left_used(num_left, 0), right_used(num_right, 0);
+    for (const auto& [l, r] : fast.pairs) {
+      EXPECT_EQ(left_used[l]++, 0);
+      EXPECT_EQ(right_used[r]++, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(VertexCoverTest, LocalRatioOnTriangle) {
+  NodeWeightedGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(0, 2);
+  std::vector<int> cover = VertexCoverLocalRatio(graph);
+  EXPECT_TRUE(IsVertexCover(graph, cover));
+  // Optimal is 2; the guarantee allows up to 4, but a triangle yields <= 3.
+  EXPECT_LE(graph.WeightOf(cover), 4.0);
+}
+
+TEST(VertexCoverTest, ExactOnStar) {
+  NodeWeightedGraph graph(5);
+  for (int leaf = 1; leaf < 5; ++leaf) graph.AddEdge(0, leaf);
+  auto cover = MinWeightVertexCoverExact(graph);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->size(), 1u);
+  EXPECT_EQ((*cover)[0], 0);
+  // With a heavy center, the leaves win.
+  graph.set_weight(0, 10);
+  cover = MinWeightVertexCoverExact(graph);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->size(), 4u);
+}
+
+TEST(VertexCoverTest, ExactRefusesHugeGraphs) {
+  NodeWeightedGraph graph(100);
+  EXPECT_EQ(MinWeightVertexCoverExact(graph, 40).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+class VertexCoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VertexCoverPropertyTest, LocalRatioWithinTwiceExact) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + static_cast<int>(rng.UniformUint64(12));
+    int m = static_cast<int>(rng.UniformUint64(2 * n));
+    NodeWeightedGraph graph = RandomGraph(n, std::min<int>(m, n * (n - 1) / 2),
+                                          &rng);
+    for (int v = 0; v < n; ++v) {
+      graph.set_weight(v, rng.UniformDouble(0.5, 4.0));
+    }
+    std::vector<int> approx = VertexCoverLocalRatio(graph);
+    EXPECT_TRUE(IsVertexCover(graph, approx));
+    auto exact = MinWeightVertexCoverExact(graph);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(graph.WeightOf(approx), 2.0 * graph.WeightOf(*exact) + 1e-9);
+    // Minimization never breaks validity and never adds weight.
+    std::vector<int> minimized = MinimizeCover(graph, approx);
+    EXPECT_TRUE(IsVertexCover(graph, minimized));
+    EXPECT_LE(graph.WeightOf(minimized), graph.WeightOf(approx) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VertexCoverPropertyTest,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+TEST(ConflictGraphTest, EdgesMatchViolations) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"x", "1"}, 2);
+  table.AddTuple({"x", "2"}, 1);
+  table.AddTuple({"y", "1"}, 1);
+  NodeWeightedGraph graph = BuildConflictGraph(TableView(table), parsed.fds);
+  EXPECT_EQ(graph.num_nodes(), 3);
+  EXPECT_EQ(graph.num_edges(), 1);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_DOUBLE_EQ(graph.weight(0), 2);
+}
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,183 @@
+// Metamorphic / invariance properties of the repair planners: facts that
+// must hold for *any* correct implementation, checked across FD sets and
+// random tables. These catch whole classes of bugs the example-based tests
+// cannot (order dependence, weight handling, non-idempotence).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "srepair/planner.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/planner.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+Table ShuffleRows(const Table& table, Rng* rng) {
+  std::vector<int> rows(table.num_tuples());
+  for (int i = 0; i < table.num_tuples(); ++i) rows[i] = i;
+  rng->Shuffle(&rows);
+  return table.SubsetByRows(rows);
+}
+
+Table ScaleWeights(const Table& table, double factor) {
+  Table out(table.schema(), table.pool());
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    Status status = out.AddInternedTupleWithId(table.id(row), table.tuple(row),
+                                               table.weight(row) * factor);
+    FDR_CHECK(status.ok());
+  }
+  return out;
+}
+
+class InvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The optimal S-repair distance is invariant under row permutation, and
+// scales linearly with a global weight factor.
+TEST_P(InvarianceTest, SRepairPermutationAndScaling) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    SRepairVerdict verdict = ClassifySRepair(named.parsed.fds);
+    if (!verdict.polynomial) continue;
+    RandomTableOptions options;
+    options.num_tuples = 12;
+    options.domain_size = 3;
+    options.heavy_fraction = 0.5;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    auto base = ComputeSRepair(named.parsed.fds, table);
+    ASSERT_TRUE(base.ok()) << named.name;
+
+    Rng shuffle_rng = rng.Fork();
+    Table shuffled = ShuffleRows(table, &shuffle_rng);
+    auto permuted = ComputeSRepair(named.parsed.fds, shuffled);
+    ASSERT_TRUE(permuted.ok()) << named.name;
+    EXPECT_NEAR(base->distance, permuted->distance, 1e-9) << named.name;
+
+    Table scaled = ScaleWeights(table, 3.5);
+    auto rescaled = ComputeSRepair(named.parsed.fds, scaled);
+    ASSERT_TRUE(rescaled.ok()) << named.name;
+    EXPECT_NEAR(rescaled->distance, 3.5 * base->distance, 1e-6) << named.name;
+  }
+}
+
+// Repairing a repair is free: both planners are idempotent.
+TEST_P(InvarianceTest, RepairIdempotence) {
+  Rng rng(GetParam() + 1);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 12;
+    options.domain_size = 3;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+
+    SRepairOptions srepair_options;
+    srepair_options.strategy = SRepairStrategy::kApproxOnly;
+    auto first = ComputeSRepair(named.parsed.fds, table, srepair_options);
+    ASSERT_TRUE(first.ok()) << named.name;
+    auto second =
+        ComputeSRepair(named.parsed.fds, first->repair, srepair_options);
+    ASSERT_TRUE(second.ok()) << named.name;
+    EXPECT_DOUBLE_EQ(second->distance, 0) << named.name;
+
+    URepairOptions urepair_options;
+    urepair_options.allow_exact_search = false;
+    auto first_update = ComputeURepair(named.parsed.fds, table,
+                                       urepair_options);
+    ASSERT_TRUE(first_update.ok()) << named.name;
+    auto second_update = ComputeURepair(named.parsed.fds,
+                                        first_update->update,
+                                        urepair_options);
+    ASSERT_TRUE(second_update.ok()) << named.name;
+    EXPECT_DOUBLE_EQ(second_update->distance, 0) << named.name;
+  }
+}
+
+// Deleting a tuple never decreases repairability: the optimal S-repair
+// distance of a subset is at most the distance on the full table.
+TEST_P(InvarianceTest, SRepairMonotoneUnderDeletion) {
+  Rng rng(GetParam() + 2);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    SRepairVerdict verdict = ClassifySRepair(named.parsed.fds);
+    if (!verdict.polynomial) continue;
+    RandomTableOptions options;
+    options.num_tuples = 10;
+    options.domain_size = 2;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    auto full = ComputeSRepair(named.parsed.fds, table);
+    ASSERT_TRUE(full.ok()) << named.name;
+    // Drop one random row.
+    std::vector<int> rows;
+    int dropped = static_cast<int>(rng.UniformUint64(table.num_tuples()));
+    for (int i = 0; i < table.num_tuples(); ++i) {
+      if (i != dropped) rows.push_back(i);
+    }
+    auto smaller = ComputeSRepair(named.parsed.fds, table.SubsetByRows(rows));
+    ASSERT_TRUE(smaller.ok()) << named.name;
+    EXPECT_LE(smaller->distance, full->distance + 1e-9) << named.name;
+  }
+}
+
+// A consistent table is repaired for free, regardless of FD set or route.
+TEST_P(InvarianceTest, ConsistentTablesAreFixpoints) {
+  Rng rng(GetParam() + 3);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    PlantedTableOptions options;
+    options.num_tuples = 20;
+    options.corruptions = 0;  // consistent by construction
+    Rng table_rng = rng.Fork();
+    Table table = PlantedDirtyTable(named.parsed.schema, named.parsed.fds,
+                                    options, &table_rng);
+    ASSERT_TRUE(Satisfies(table, named.parsed.fds)) << named.name;
+    SRepairOptions srepair_options;
+    srepair_options.strategy = SRepairStrategy::kApproxOnly;
+    auto srepair = ComputeSRepair(named.parsed.fds, table, srepair_options);
+    ASSERT_TRUE(srepair.ok()) << named.name;
+    EXPECT_DOUBLE_EQ(srepair->distance, 0) << named.name;
+    EXPECT_EQ(srepair->repair.num_tuples(), table.num_tuples()) << named.name;
+    URepairOptions urepair_options;
+    urepair_options.allow_exact_search = false;
+    auto urepair = ComputeURepair(named.parsed.fds, table, urepair_options);
+    ASSERT_TRUE(urepair.ok()) << named.name;
+    EXPECT_DOUBLE_EQ(urepair->distance, 0) << named.name;
+  }
+}
+
+// Duplicate tuples reinforce each other: duplicating every tuple of a
+// consistent table keeps it consistent; duplicating a dirty table exactly
+// doubles the optimal deletion cost on the tractable side.
+TEST_P(InvarianceTest, DuplicationDoublesOptSRepair) {
+  Rng rng(GetParam() + 4);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    SRepairVerdict verdict = ClassifySRepair(named.parsed.fds);
+    if (!verdict.polynomial) continue;
+    RandomTableOptions options;
+    options.num_tuples = 8;
+    options.domain_size = 2;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    auto base = ComputeSRepair(named.parsed.fds, table);
+    ASSERT_TRUE(base.ok()) << named.name;
+    Table doubled = table.Clone();
+    for (int row = 0; row < table.num_tuples(); ++row) {
+      Status status = doubled.AddInternedTupleWithId(
+          1000 + table.id(row), table.tuple(row), table.weight(row));
+      ASSERT_TRUE(status.ok());
+    }
+    auto twice = ComputeSRepair(named.parsed.fds, doubled);
+    ASSERT_TRUE(twice.ok()) << named.name;
+    EXPECT_NEAR(twice->distance, 2.0 * base->distance, 1e-9) << named.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceTest,
+                         ::testing::Values(11111, 22222, 33333));
+
+}  // namespace
+}  // namespace fdrepair

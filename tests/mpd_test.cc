@@ -1,0 +1,139 @@
+// Tests for the Most Probable Database reduction (§3.4, Theorem 3.10):
+// agreement with brute force, certain-tuple handling, the p <= 0.5 rule,
+// and the Comment 3.11 case ∆A↔B→C.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "mpd/mpd.h"
+#include "storage/consistency.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(MpdTest, ValidatesProbabilities) {
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  Table table(parsed.schema);
+  table.AddTuple({"a", "b", "c"}, 2.0);  // > 1: not a probability
+  EXPECT_FALSE(MostProbableDatabase(parsed.fds, table).ok());
+}
+
+TEST(MpdTest, LowProbabilityTuplesDropped) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"}, 0.9);
+  table.AddTuple({"a", "y"}, 0.4);  // p <= 0.5: never kept
+  auto result = MostProbableDatabase(parsed.fds, table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  ASSERT_EQ(result->database.num_tuples(), 1);
+  EXPECT_EQ(result->database.ValueText(0, 1), "x");
+}
+
+TEST(MpdTest, CertainTuplesAlwaysKept) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"}, 1.0);   // certain
+  table.AddTuple({"a", "y"}, 0.99);  // conflicting but uncertain
+  auto result = MostProbableDatabase(parsed.fds, table);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->database.num_tuples(), 1);
+  EXPECT_EQ(result->database.ValueText(0, 1), "x");
+}
+
+TEST(MpdTest, ConflictingCertainTuplesInfeasible) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"}, 1.0);
+  table.AddTuple({"a", "y"}, 1.0);
+  auto result = MostProbableDatabase(parsed.fds, table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+  EXPECT_EQ(result->database.num_tuples(), 0);
+  EXPECT_TRUE(std::isinf(result->log_probability));
+}
+
+TEST(MpdTest, SubsetLogProbabilityMatchesFormula) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"}, 0.8);
+  table.AddTuple({"b", "y"}, 0.6);
+  // Keep row 0 only: log(0.8) + log(0.4).
+  EXPECT_NEAR(SubsetLogProbability(table, {0}),
+              std::log(0.8) + std::log(0.4), 1e-12);
+  EXPECT_NEAR(SubsetLogProbability(table, {0, 1}),
+              std::log(0.8) + std::log(0.6), 1e-12);
+}
+
+// Theorem 3.10 in action: the reduction matches exhaustive search across
+// tractable and (small) hard FD sets.
+class MpdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MpdPropertyTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    if (named.parsed.schema.arity() > 5) continue;
+    for (int trial = 0; trial < 3; ++trial) {
+      Table table(named.parsed.schema);
+      int n = 4 + static_cast<int>(rng.UniformUint64(4));
+      for (int i = 0; i < n; ++i) {
+        std::vector<std::string> values;
+        for (int a = 0; a < named.parsed.schema.arity(); ++a) {
+          values.push_back("v" + std::to_string(rng.UniformUint64(2)));
+        }
+        // Mix of certain, contended and discardable probabilities.
+        double p;
+        switch (rng.UniformUint64(4)) {
+          case 0:
+            p = 1.0;
+            break;
+          case 1:
+            p = 0.3;
+            break;
+          default:
+            p = rng.UniformDouble(0.55, 0.95);
+        }
+        table.AddTuple(values, p);
+      }
+      auto fast = MostProbableDatabase(named.parsed.fds, table);
+      ASSERT_TRUE(fast.ok()) << named.name << ": " << fast.status();
+      auto slow = MostProbableDatabaseBruteForce(named.parsed.fds, table);
+      ASSERT_TRUE(slow.ok()) << named.name;
+      if (!fast->feasible) {
+        EXPECT_TRUE(std::isinf(slow->log_probability)) << named.name;
+        continue;
+      }
+      EXPECT_TRUE(Satisfies(fast->database, named.parsed.fds)) << named.name;
+      EXPECT_NEAR(fast->log_probability, slow->log_probability, 1e-9)
+          << named.name << " trial " << trial << "\n" << table.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpdPropertyTest,
+                         ::testing::Values(1111, 2222, 3333));
+
+// Comment 3.11: ∆A↔B→C is on the tractable side of our dichotomy, so MPD
+// for it runs in polynomial time (exact OptSRepair route, no fallback).
+TEST(MpdTest, Comment311KeyCycleTractable) {
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  Rng rng(606);
+  Table table(parsed.schema);
+  for (int i = 0; i < 40; ++i) {
+    table.AddTuple({"a" + std::to_string(rng.UniformUint64(4)),
+                    "b" + std::to_string(rng.UniformUint64(4)),
+                    "c" + std::to_string(rng.UniformUint64(2))},
+                   rng.UniformDouble(0.55, 0.95));
+  }
+  MpdOptions options;
+  options.strategy = SRepairStrategy::kExactOnly;  // must not need BnB
+  auto result = MostProbableDatabase(parsed.fds, table, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(Satisfies(result->database, parsed.fds));
+}
+
+}  // namespace
+}  // namespace fdrepair

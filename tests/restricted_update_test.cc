@@ -1,0 +1,100 @@
+// Tests for the §5 restriction on update repairs: values drawn only from
+// the column's active domain (no fresh constants). The paper notes its
+// results rely on the infinite domain; these tests quantify what changes.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/urepair_exact.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(RestrictedUpdateTest, NoFreshValuesAppear) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"});
+  table.AddTuple({"a", "y"});
+  ExactURepairOptions options;
+  options.active_domain_only = true;
+  auto update = OptURepairExact(parsed.fds, table, options);
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(Satisfies(*update, parsed.fds));
+  for (int row = 0; row < update->num_tuples(); ++row) {
+    for (int attr = 0; attr < update->schema().arity(); ++attr) {
+      EXPECT_FALSE(table.pool()->IsFresh(update->value(row, attr)));
+    }
+  }
+  EXPECT_DOUBLE_EQ(DistUpdOrDie(*update, table), 1);  // y := x
+}
+
+TEST(RestrictedUpdateTest, RestrictionCanStrictlyIncreaseOptimum) {
+  // ∆ = {A → B, A → C}: two tuples agreeing on A but differing on B and C.
+  // Unrestricted optimum: 1 (freshen one A cell, detaching the tuple).
+  // Active-domain optimum: 2 (A can only stay 'a', so B and C must align).
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B; A -> C");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "b1", "c1"});
+  table.AddTuple({"a", "b2", "c2"});
+
+  auto unrestricted = OptURepairExact(parsed.fds, table);
+  ASSERT_TRUE(unrestricted.ok());
+  EXPECT_DOUBLE_EQ(DistUpdOrDie(*unrestricted, table), 1);
+
+  ExactURepairOptions options;
+  options.active_domain_only = true;
+  auto restricted = OptURepairExact(parsed.fds, table, options);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_TRUE(Satisfies(*restricted, parsed.fds));
+  EXPECT_DOUBLE_EQ(DistUpdOrDie(*restricted, table), 2);
+}
+
+TEST(RestrictedUpdateTest, RestrictedAlwaysFeasibleAndDominated) {
+  // A consistent active-domain update always exists (align everything with
+  // one tuple), and the restricted optimum dominates the unrestricted one.
+  Rng rng(5050);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    FdSet delta = named.parsed.fds.WithoutTrivial();
+    if (delta.Attrs().size() > 4 || delta.empty()) continue;
+    for (int trial = 0; trial < 3; ++trial) {
+      RandomTableOptions options;
+      options.num_tuples = 4;
+      options.domain_size = 2;
+      Rng table_rng = rng.Fork();
+      Table table = RandomTable(named.parsed.schema, options, &table_rng);
+      ExactURepairOptions restricted_options;
+      restricted_options.active_domain_only = true;
+      auto restricted = OptURepairExact(delta, table, restricted_options);
+      ASSERT_TRUE(restricted.ok()) << named.name << ": "
+                                   << restricted.status();
+      EXPECT_TRUE(Satisfies(*restricted, delta)) << named.name;
+      auto unrestricted = OptURepairExact(delta, table);
+      ASSERT_TRUE(unrestricted.ok()) << named.name;
+      EXPECT_GE(DistUpdOrDie(*restricted, table),
+                DistUpdOrDie(*unrestricted, table) - 1e-9)
+          << named.name;
+    }
+  }
+}
+
+TEST(RestrictedUpdateTest, ConsensusUnaffectedByRestriction) {
+  // Plurality repairs only ever write active-domain values, so consensus
+  // FDs cost the same under the restriction.
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("{} -> A");
+  Table table(parsed.schema);
+  table.AddTuple({"x"}, 2);
+  table.AddTuple({"y"}, 1);
+  table.AddTuple({"z"}, 1);
+  ExactURepairOptions options;
+  options.active_domain_only = true;
+  auto restricted = OptURepairExact(parsed.fds, table, options);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_DOUBLE_EQ(DistUpdOrDie(*restricted, table), 2);  // y, z := x
+}
+
+}  // namespace
+}  // namespace fdrepair

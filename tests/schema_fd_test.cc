@@ -1,0 +1,122 @@
+// Tests for Schema, Fd and the FD parser.
+
+#include <gtest/gtest.h>
+
+#include "catalog/fd_parser.h"
+#include "catalog/schema.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(SchemaTest, MakeValid) {
+  auto schema = Schema::Make("Office", {"facility", "room", "floor", "city"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->arity(), 4);
+  EXPECT_EQ(schema->relation_name(), "Office");
+  EXPECT_EQ(schema->AttributeName(2), "floor");
+  EXPECT_EQ(*schema->AttributeId("city"), 3);
+  EXPECT_TRUE(schema->HasAttribute("room"));
+  EXPECT_FALSE(schema->HasAttribute("wing"));
+}
+
+TEST(SchemaTest, RejectsBadInputs) {
+  EXPECT_FALSE(Schema::Make("R", {}).ok());
+  EXPECT_FALSE(Schema::Make("R", {"A", "A"}).ok());
+  EXPECT_FALSE(Schema::Make("R", {"A", ""}).ok());
+  std::vector<std::string> too_many;
+  for (int i = 0; i < 65; ++i) too_many.push_back("A" + std::to_string(i));
+  EXPECT_FALSE(Schema::Make("R", too_many).ok());
+}
+
+TEST(SchemaTest, AnonymousNames) {
+  Schema schema = Schema::Anonymous(4);
+  EXPECT_EQ(schema.AttributeName(0), "A");
+  EXPECT_EQ(schema.AttributeName(3), "D");
+  Schema wide = Schema::Anonymous(28);
+  EXPECT_EQ(wide.AttributeName(26), "A27");
+}
+
+TEST(SchemaTest, NamesOfRendersSetsInOrder) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B", "C"});
+  EXPECT_EQ(schema.NamesOf(AttrSet::Of({0, 2})), "A C");
+  EXPECT_EQ(schema.NamesOf(AttrSet()), "∅");
+  EXPECT_EQ(schema.ToString(), "R(A, B, C)");
+}
+
+TEST(FdTest, TrivialAndConsensus) {
+  Fd trivial(AttrSet::Of({0, 1}), 1);
+  EXPECT_TRUE(trivial.IsTrivial());
+  EXPECT_FALSE(trivial.IsConsensus());
+  Fd consensus(AttrSet(), 2);
+  EXPECT_TRUE(consensus.IsConsensus());
+  EXPECT_FALSE(consensus.IsTrivial());
+  Fd normal(AttrSet::Of({0}), 1);
+  EXPECT_FALSE(normal.IsTrivial());
+  EXPECT_EQ(normal.Attrs(), AttrSet::Of({0, 1}));
+}
+
+TEST(FdTest, Rendering) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B", "C"});
+  EXPECT_EQ(Fd(AttrSet::Of({0, 1}), 2).ToString(schema), "A B -> C");
+  EXPECT_EQ(Fd(AttrSet(), 0).ToString(schema), "{} -> A");
+}
+
+TEST(FdParserTest, BasicForms) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B", "C", "D"});
+  FdSet fds = ParseFdSetOrDie(schema, "A B -> C ; C -> D");
+  ASSERT_EQ(fds.size(), 2);
+  // Canonical order sorts by lhs bitmask: {A,B} (0b011) before {C} (0b100).
+  EXPECT_EQ(fds.fds()[0], Fd(AttrSet::Of({0, 1}), 2));
+  EXPECT_EQ(fds.fds()[1], Fd(AttrSet::Of({2}), 3));
+}
+
+TEST(FdParserTest, MultiRhsNormalized) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B", "C"});
+  FdSet fds = ParseFdSetOrDie(schema, "A -> B C");
+  EXPECT_EQ(fds.size(), 2);
+  EXPECT_TRUE(fds.Entails(Fd(AttrSet::Of({0}), 1)));
+  EXPECT_TRUE(fds.Entails(Fd(AttrSet::Of({0}), 2)));
+}
+
+TEST(FdParserTest, ConsensusForms) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B"});
+  for (const char* text : {"{} -> A", "-> A"}) {
+    FdSet fds = ParseFdSetOrDie(schema, text);
+    ASSERT_EQ(fds.size(), 1);
+    EXPECT_TRUE(fds.fds()[0].IsConsensus());
+  }
+}
+
+TEST(FdParserTest, CommasNewlinesAndDuplicates) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B", "C"});
+  FdSet fds = ParseFdSetOrDie(schema, "A, B -> C\nA B -> C;");
+  EXPECT_EQ(fds.size(), 1);  // deduplicated
+}
+
+TEST(FdParserTest, Errors) {
+  Schema schema = Schema::MakeOrDie("R", {"A", "B"});
+  EXPECT_FALSE(ParseFdSet(schema, "A B").ok());          // no arrow
+  EXPECT_FALSE(ParseFdSet(schema, "A -> B -> A").ok());  // double arrow
+  EXPECT_FALSE(ParseFdSet(schema, "A -> ").ok());        // empty rhs
+  EXPECT_FALSE(ParseFdSet(schema, "A -> Z").ok());       // unknown attr
+}
+
+TEST(FdParserTest, InferSchemaOrdersByAppearance) {
+  ParsedFdSet parsed =
+      ParseFdSetInferSchemaOrDie("facility -> city; facility room -> floor");
+  EXPECT_EQ(parsed.schema.AttributeName(0), "facility");
+  EXPECT_EQ(parsed.schema.AttributeName(1), "city");
+  EXPECT_EQ(parsed.schema.AttributeName(2), "room");
+  EXPECT_EQ(parsed.schema.AttributeName(3), "floor");
+  EXPECT_EQ(parsed.fds.size(), 2);
+}
+
+TEST(FdParserTest, RoundTripThroughToString) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B; B C -> D");
+  std::string rendered = parsed.fds.ToString(parsed.schema);
+  FdSet reparsed = ParseFdSetOrDie(parsed.schema, rendered);
+  EXPECT_EQ(reparsed, parsed.fds);
+}
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,185 @@
+// Tests for the simplification machinery and OSRSucceeds (Algorithm 2) —
+// including the exact chains of Example 3.5 and the dichotomy
+// classifications the paper states for its named FD sets.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "srepair/osr_succeeds.h"
+#include "workloads/example_fdsets.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(SimplificationTest, TrivialTermination) {
+  SimplificationStep step = NextSimplification(FdSet());
+  EXPECT_EQ(step.kind, SimplificationKind::kTrivialTermination);
+  ParsedFdSet trivial = ParseFdSetInferSchemaOrDie("A B -> A");
+  EXPECT_EQ(NextSimplification(trivial.fds).kind,
+            SimplificationKind::kTrivialTermination);
+}
+
+TEST(SimplificationTest, PriorityOrderCommonLhsFirst) {
+  // Office ∆ has a common lhs (facility) — taken before anything else.
+  ParsedFdSet office = OfficeFds();
+  SimplificationStep step = NextSimplification(office.fds);
+  EXPECT_EQ(step.kind, SimplificationKind::kCommonLhs);
+  AttrId facility = *office.schema.AttributeId("facility");
+  EXPECT_EQ(step.removed, AttrSet::Of({facility}));
+}
+
+TEST(SimplificationTest, ConsensusAfterCommonLhs) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("{} -> A; B -> C");
+  SimplificationStep step = NextSimplification(parsed.fds);
+  EXPECT_EQ(step.kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(step.removed.size(), 1);
+}
+
+TEST(SimplificationTest, MarriageLast) {
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  SimplificationStep step = NextSimplification(parsed.fds);
+  EXPECT_EQ(step.kind, SimplificationKind::kLhsMarriage);
+  EXPECT_EQ(step.removed, AttrSet::Of({0, 1}));  // A and B
+  // Residual is the consensus FD {} -> C.
+  EXPECT_EQ(step.after.size(), 1);
+  EXPECT_TRUE(step.after.fds()[0].IsConsensus());
+}
+
+TEST(SimplificationTest, Stuck) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  SimplificationStep step = NextSimplification(parsed.fds);
+  EXPECT_EQ(step.kind, SimplificationKind::kStuck);
+  EXPECT_EQ(step.after, step.before);
+}
+
+// Example 3.5, chain 1: the running example reduces via
+// common lhs, consensus, common lhs, consensus to {}.
+TEST(OsrSucceedsTest, Example35OfficeChain) {
+  ParsedFdSet office = OfficeFds();
+  OsrTrace trace = RunOsrSucceeds(office.fds);
+  EXPECT_TRUE(trace.succeeds);
+  ASSERT_EQ(trace.steps.size(), 5u);
+  EXPECT_EQ(trace.steps[0].kind, SimplificationKind::kCommonLhs);
+  EXPECT_EQ(trace.steps[1].kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(trace.steps[2].kind, SimplificationKind::kCommonLhs);
+  EXPECT_EQ(trace.steps[3].kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(trace.steps[4].kind, SimplificationKind::kTrivialTermination);
+}
+
+// Example 3.5, chain 2: ∆A↔B→C reduces via lhs marriage then consensus.
+TEST(OsrSucceedsTest, Example35MarriageChain) {
+  OsrTrace trace = RunOsrSucceeds(DeltaAKeyBToC().fds);
+  EXPECT_TRUE(trace.succeeds);
+  ASSERT_EQ(trace.steps.size(), 3u);
+  EXPECT_EQ(trace.steps[0].kind, SimplificationKind::kLhsMarriage);
+  EXPECT_EQ(trace.steps[1].kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(trace.steps[2].kind, SimplificationKind::kTrivialTermination);
+}
+
+// Example 3.5, chain 3: ∆1 of Example 3.1 — marriage, consensus,
+// common lhs, consensus, consensus.
+TEST(OsrSucceedsTest, Example35SsnChain) {
+  OsrTrace trace = RunOsrSucceeds(Example31Ssn().fds);
+  EXPECT_TRUE(trace.succeeds);
+  ASSERT_EQ(trace.steps.size(), 6u);
+  EXPECT_EQ(trace.steps[0].kind, SimplificationKind::kLhsMarriage);
+  EXPECT_EQ(trace.steps[1].kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(trace.steps[2].kind, SimplificationKind::kCommonLhs);
+  EXPECT_EQ(trace.steps[3].kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(trace.steps[4].kind, SimplificationKind::kConsensus);
+  EXPECT_EQ(trace.steps[5].kind, SimplificationKind::kTrivialTermination);
+}
+
+// Example 3.5's negative cases and Table 1.
+TEST(OsrSucceedsTest, HardSetsFail) {
+  EXPECT_FALSE(OsrSucceeds(DeltaAtoBtoC().fds));
+  EXPECT_FALSE(OsrSucceeds(DeltaAtoCfromB().fds));
+  EXPECT_FALSE(OsrSucceeds(DeltaABtoCtoB().fds));
+  EXPECT_FALSE(OsrSucceeds(DeltaTriangle().fds));
+  EXPECT_FALSE(OsrSucceeds(DeltaTwoDisjoint().fds));
+  EXPECT_FALSE(OsrSucceeds(Delta3Email().fds));
+  EXPECT_FALSE(OsrSucceeds(Delta0Purchase().fds));
+  EXPECT_FALSE(OsrSucceeds(Example42Hard().fds));
+  EXPECT_FALSE(OsrSucceeds(Example47Zip().fds));
+}
+
+TEST(OsrSucceedsTest, TractableSetsSucceed) {
+  EXPECT_TRUE(OsrSucceeds(OfficeFds().fds));
+  EXPECT_TRUE(OsrSucceeds(DeltaAKeyBToC().fds));
+  EXPECT_TRUE(OsrSucceeds(Example31Ssn().fds));
+  EXPECT_TRUE(OsrSucceeds(Delta4Buyer().fds));
+  EXPECT_TRUE(OsrSucceeds(Example47Passport().fds));
+  EXPECT_TRUE(OsrSucceeds(FdSet()));
+}
+
+// Corollary 3.6: every chain FD set succeeds.
+TEST(OsrSucceedsTest, ChainsAlwaysSucceed) {
+  Rng rng(4242);
+  Schema schema = Schema::Anonymous(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Build a random chain: nested lhs's X1 ⊆ X2 ⊆ ... with random rhs.
+    AttrSet lhs;
+    std::vector<Fd> fds;
+    int levels = 1 + static_cast<int>(rng.UniformUint64(4));
+    for (int level = 0; level < levels; ++level) {
+      if (rng.Bernoulli(0.7)) {
+        lhs = lhs.With(static_cast<AttrId>(rng.UniformUint64(6)));
+      }
+      fds.emplace_back(lhs, static_cast<AttrId>(rng.UniformUint64(6)));
+    }
+    FdSet delta = FdSet::FromFds(fds);
+    ASSERT_TRUE(delta.IsChain());
+    EXPECT_TRUE(OsrSucceeds(delta)) << delta.ToString();
+  }
+}
+
+// The stuck residual never admits a simplification (sanity of the trace).
+TEST(OsrSucceedsTest, StuckResidualIsStuck) {
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    OsrTrace trace = RunOsrSucceeds(named.parsed.fds);
+    if (!trace.succeeds) {
+      SimplificationStep step = NextSimplification(trace.stuck_fds);
+      EXPECT_EQ(step.kind, SimplificationKind::kStuck) << named.name;
+    }
+  }
+}
+
+TEST(OsrSucceedsTest, TraceRendering) {
+  ParsedFdSet office = OfficeFds();
+  std::string rendered = RunOsrSucceeds(office.fds).ToString(office.schema);
+  EXPECT_NE(rendered.find("common lhs"), std::string::npos);
+  EXPECT_NE(rendered.find("consensus"), std::string::npos);
+  EXPECT_NE(rendered.find("true"), std::string::npos);
+}
+
+// Random FD sets: the trace always terminates with a decisive step, and
+// every intermediate step removes at least one attribute.
+class OsrRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OsrRandomTest, TracesWellFormed) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Fd> fds;
+    int count = 1 + static_cast<int>(rng.UniformUint64(5));
+    for (int f = 0; f < count; ++f) {
+      fds.emplace_back(AttrSet::FromBits(rng.Next() & 0x3f),
+                       static_cast<AttrId>(rng.UniformUint64(6)));
+    }
+    OsrTrace trace = RunOsrSucceeds(FdSet::FromFds(fds));
+    ASSERT_FALSE(trace.steps.empty());
+    SimplificationKind last = trace.steps.back().kind;
+    EXPECT_TRUE(last == SimplificationKind::kTrivialTermination ||
+                last == SimplificationKind::kStuck);
+    for (size_t s = 0; s + 1 < trace.steps.size(); ++s) {
+      EXPECT_FALSE(trace.steps[s].removed.empty());
+      EXPECT_FALSE(
+          trace.steps[s].after.Attrs().Intersects(trace.steps[s].removed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OsrRandomTest,
+                         ::testing::Values(1001, 2002, 3003, 4004));
+
+}  // namespace
+}  // namespace fdrepair

@@ -1,0 +1,134 @@
+// Tests for the 2-approximate S-repair (Proposition 3.3): validity,
+// factor-2 guarantee against the exact optimum, maximality of the restored
+// repair, and agreement between the fused and conflict-graph engines.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/conflict_graph.h"
+#include "srepair/srepair_exact.h"
+#include "srepair/srepair_vc_approx.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+TEST(SRepairApproxTest, ConsistentOnHardSets) {
+  Rng rng(11);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 40;
+    options.domain_size = 3;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    Table repair = SRepairVcApprox(named.parsed.fds, table);
+    EXPECT_TRUE(Satisfies(repair, named.parsed.fds)) << named.name;
+    EXPECT_TRUE(DistSub(repair, table).ok()) << named.name;
+  }
+}
+
+TEST(SRepairApproxTest, CleanTableUntouched) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  Table table(parsed.schema);
+  table.AddTuple({"a1", "b1", "c1"});
+  table.AddTuple({"a2", "b2", "c2"});
+  Table repair = SRepairVcApprox(parsed.fds, table);
+  EXPECT_EQ(repair.num_tuples(), 2);
+}
+
+TEST(SRepairApproxTest, RestoreMaximality) {
+  // Start from the empty subset: restoration alone must build a repair.
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"}, 1);
+  table.AddTuple({"a", "y"}, 5);
+  table.AddTuple({"b", "z"}, 1);
+  std::vector<int> restored =
+      RestoreConsistentRows(parsed.fds, TableView(table), {});
+  // Heaviest-first greedy: keeps rows 1 (weight 5) and 2; row 0 conflicts.
+  EXPECT_EQ(restored, (std::vector<int>{1, 2}));
+}
+
+class ApproxRatioTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproxRatioTest, WithinTwiceOptimal) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      RandomTableOptions options;
+      options.num_tuples = 5 + static_cast<int>(rng.UniformUint64(10));
+      options.domain_size = 2 + static_cast<int>(rng.UniformUint64(3));
+      options.heavy_fraction = (trial % 2 == 0) ? 0.4 : 0.0;
+      Rng table_rng = rng.Fork();
+      Table table = RandomTable(named.parsed.schema, options, &table_rng);
+      Table approx = SRepairVcApprox(named.parsed.fds, table);
+      double approx_distance = DistSubOrDie(approx, table);
+      auto exact = OptSRepairExact(named.parsed.fds, table);
+      ASSERT_TRUE(exact.ok()) << named.name;
+      double exact_distance = DistSubOrDie(*exact, table);
+      EXPECT_LE(approx_distance, 2.0 * exact_distance + 1e-9)
+          << named.name << " trial " << trial;
+      EXPECT_GE(approx_distance, exact_distance - 1e-9) << named.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxRatioTest,
+                         ::testing::Values(21, 42, 63));
+
+TEST(SRepairApproxTest, GraphRouteAgreesOnGuarantee) {
+  Rng rng(5);
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  RandomTableOptions options;
+  options.num_tuples = 25;
+  options.domain_size = 3;
+  Table table = RandomTable(parsed.schema, options, &rng);
+  NodeWeightedGraph graph = BuildConflictGraph(TableView(table), parsed.fds);
+  std::vector<int> order(graph.num_edges());
+  for (int i = 0; i < graph.num_edges(); ++i) order[i] = i;
+  // Forward and reversed edge orders both give valid 2-approximations.
+  for (int reversal = 0; reversal < 2; ++reversal) {
+    std::vector<int> rows =
+        SRepairVcApproxRowsViaGraph(parsed.fds, TableView(table), order);
+    Table repair = table.SubsetByRows(rows);
+    EXPECT_TRUE(Satisfies(repair, parsed.fds));
+    auto exact = OptSRepairExact(parsed.fds, table);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(DistSubOrDie(repair, table),
+              2.0 * DistSubOrDie(*exact, table) + 1e-9);
+    std::reverse(order.begin(), order.end());
+  }
+}
+
+TEST(SRepairExactTest, RefusesOversizedConflicts) {
+  Rng rng(3);
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  RandomTableOptions options;
+  options.num_tuples = 200;
+  options.domain_size = 2;  // dense conflicts
+  Table table = RandomTable(parsed.schema, options, &rng);
+  auto exact = OptSRepairExactRows(parsed.fds, TableView(table), 40);
+  EXPECT_EQ(exact.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SRepairExactTest, IsolatedTuplesAlwaysKept) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"});
+  table.AddTuple({"a", "y"});
+  table.AddTuple({"solo", "z"});
+  auto exact = OptSRepairExact(parsed.fds, table);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->num_tuples(), 2);
+  bool solo_kept = false;
+  for (int row = 0; row < exact->num_tuples(); ++row) {
+    if (exact->ValueText(row, 0) == "solo") solo_kept = true;
+  }
+  EXPECT_TRUE(solo_kept);
+}
+
+}  // namespace
+}  // namespace fdrepair

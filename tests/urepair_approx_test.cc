@@ -1,0 +1,155 @@
+// Tests for the approximate U-repairs: the 2·mlc route (Theorem 4.12), the
+// Kolahi–Lakshmanan-style core-implicant baseline (Theorem 4.13 shape), and
+// the combined best-of (§4.4) — consistency always, ratio bounds against the
+// exact optimum on small instances.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/covers.h"
+#include "urepair/update.h"
+#include "urepair/urepair_exact.h"
+#include "urepair/urepair_kl_approx.h"
+#include "urepair/urepair_mlc_approx.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+std::vector<NamedFdSet> ConsensusFreeSets() {
+  std::vector<NamedFdSet> out;
+  for (NamedFdSet& named : AllNamedFdSets()) {
+    FdSet delta = named.parsed.fds.WithoutTrivial();
+    if (delta.IsConsensusFree() && !delta.empty()) {
+      out.push_back(std::move(named));
+    }
+  }
+  return out;
+}
+
+TEST(MlcApproxTest, ConsistentAcrossSets) {
+  Rng rng(13);
+  for (const NamedFdSet& named : ConsensusFreeSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 30;
+    options.domain_size = 3;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    auto update = MlcApproxURepair(named.parsed.fds, table);
+    ASSERT_TRUE(update.ok()) << named.name << ": " << update.status();
+    EXPECT_TRUE(Satisfies(*update, named.parsed.fds)) << named.name;
+    EXPECT_TRUE(ValidateUpdate(*update, table).ok()) << named.name;
+  }
+}
+
+TEST(KlApproxTest, ConsistentAcrossSets) {
+  Rng rng(14);
+  for (const NamedFdSet& named : ConsensusFreeSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 30;
+    options.domain_size = 3;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    auto update = KlApproxURepair(named.parsed.fds, table);
+    ASSERT_TRUE(update.ok()) << named.name << ": " << update.status();
+    EXPECT_TRUE(Satisfies(*update, named.parsed.fds)) << named.name;
+  }
+}
+
+TEST(ApproxTest, RejectConsensusSets) {
+  ParsedFdSet consensus = ParseFdSetInferSchemaOrDie("{} -> A");
+  Table table(consensus.schema);
+  table.AddTuple({"x"});
+  EXPECT_EQ(MlcApproxURepair(consensus.fds, table).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(KlApproxURepair(consensus.fds, table).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ApproxTest, CleanTableCostsNothing) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  Table table(parsed.schema);
+  table.AddTuple({"a1", "b1", "c1"});
+  table.AddTuple({"a2", "b2", "c2"});
+  auto mlc_update = MlcApproxURepair(parsed.fds, table);
+  ASSERT_TRUE(mlc_update.ok());
+  EXPECT_DOUBLE_EQ(DistUpdOrDie(*mlc_update, table), 0);
+  auto kl_update = KlApproxURepair(parsed.fds, table);
+  ASSERT_TRUE(kl_update.ok());
+  EXPECT_DOUBLE_EQ(DistUpdOrDie(*kl_update, table), 0);
+}
+
+// Ratio bounds against the exact optimum on tiny tables.
+class URepairApproxRatioTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(URepairApproxRatioTest, WithinProvenBounds) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : ConsensusFreeSets()) {
+    FdSet delta = named.parsed.fds.WithoutTrivial();
+    if (delta.Attrs().size() > 5) continue;  // exact-solver budget
+    auto mlc_bound = MlcApproxRatioBound(delta);
+    auto kl_bound = KlApproxRatioBound(delta);
+    ASSERT_TRUE(mlc_bound.ok() && kl_bound.ok()) << named.name;
+    for (int trial = 0; trial < 4; ++trial) {
+      RandomTableOptions options;
+      options.num_tuples = 4;
+      options.domain_size = 2;
+      Rng table_rng = rng.Fork();
+      Table table = RandomTable(named.parsed.schema, options, &table_rng);
+      auto exact = OptURepairExact(delta, table);
+      ASSERT_TRUE(exact.ok()) << named.name;
+      double optimal = DistUpdOrDie(*exact, table);
+
+      auto mlc_update = MlcApproxURepair(delta, table);
+      ASSERT_TRUE(mlc_update.ok()) << named.name;
+      EXPECT_LE(DistUpdOrDie(*mlc_update, table),
+                *mlc_bound * optimal + 1e-9)
+          << named.name << "\n" << table.ToString();
+
+      auto kl_update = KlApproxURepair(delta, table);
+      ASSERT_TRUE(kl_update.ok()) << named.name;
+      EXPECT_LE(DistUpdOrDie(*kl_update, table), *kl_bound * optimal + 1e-9)
+          << named.name << "\n" << table.ToString();
+
+      auto combined = CombinedApproxURepair(delta, table);
+      ASSERT_TRUE(combined.ok()) << named.name;
+      double combined_cost = DistUpdOrDie(*combined, table);
+      EXPECT_LE(combined_cost,
+                DistUpdOrDie(*mlc_update, table) + 1e-9);
+      EXPECT_LE(combined_cost, DistUpdOrDie(*kl_update, table) + 1e-9);
+      EXPECT_GE(combined_cost, optimal - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, URepairApproxRatioTest,
+                         ::testing::Values(910, 911, 912));
+
+// The §4.4 divergence, measured: on ∆'k instances the KL-style baseline
+// must not degrade with k (its bound is the constant 9) while the 2·mlc
+// route's bound grows — the combined algorithm tracks the better one.
+TEST(ApproxTest, CombinedNeverWorseThanEitherOnFamilies) {
+  Rng rng(2024);
+  for (int k = 1; k <= 3; ++k) {
+    ParsedFdSet family = DeltaPrimeKFamily(k);
+    RandomTableOptions options;
+    options.num_tuples = 20;
+    options.domain_size = 2;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(family.schema, options, &table_rng);
+    auto mlc_update = MlcApproxURepair(family.fds, table);
+    auto kl_update = KlApproxURepair(family.fds, table);
+    auto combined = CombinedApproxURepair(family.fds, table);
+    ASSERT_TRUE(mlc_update.ok() && kl_update.ok() && combined.ok());
+    double best = std::min(DistUpdOrDie(*mlc_update, table),
+                           DistUpdOrDie(*kl_update, table));
+    EXPECT_DOUBLE_EQ(DistUpdOrDie(*combined, table), best) << "k=" << k;
+    EXPECT_TRUE(Satisfies(*combined, family.fds));
+  }
+}
+
+}  // namespace
+}  // namespace fdrepair

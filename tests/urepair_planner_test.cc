@@ -1,0 +1,176 @@
+// Tests for the U-repair planner: the complexity verdicts the paper states
+// per FD set (Corollaries 4.6/4.8/4.11, Theorem 4.10, Examples 4.2/4.7),
+// consensus peeling (Theorem 4.3), decomposition (Theorem 4.1), and
+// end-to-end optimality against the exhaustive solver.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/planner.h"
+#include "urepair/urepair_exact.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+#include "workloads/office.h"
+
+namespace fdrepair {
+namespace {
+
+URepairComplexity PlannedComplexity(const ParsedFdSet& parsed) {
+  auto plan = PlanURepair(parsed.fds);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return plan->complexity;
+}
+
+TEST(URepairPlannerTest, PaperVerdicts) {
+  // Chain sets: polynomial (Corollary 4.8).
+  EXPECT_EQ(PlannedComplexity(OfficeFds()), URepairComplexity::kPolynomial);
+  // ∆0: two common-lhs components, polynomial (intro / Example 4.2).
+  EXPECT_EQ(PlannedComplexity(Delta0Purchase()),
+            URepairComplexity::kPolynomial);
+  EXPECT_EQ(PlannedComplexity(Example42Tractable()),
+            URepairComplexity::kPolynomial);
+  // ∆3 = {email → buyer, buyer → address}: APX-hard (Kolahi & Lakshmanan).
+  EXPECT_EQ(PlannedComplexity(Delta3Email()), URepairComplexity::kApxHard);
+  EXPECT_EQ(PlannedComplexity(Example42Hard()), URepairComplexity::kApxHard);
+  // ∆4 / ∆A↔B→C: APX-complete for updates although S-repairs are easy
+  // (Theorem 4.10, Corollary 4.11 direction 1).
+  EXPECT_EQ(PlannedComplexity(Delta4Buyer()), URepairComplexity::kApxHard);
+  EXPECT_EQ(PlannedComplexity(DeltaAKeyBToC()), URepairComplexity::kApxHard);
+  // Example 4.7: passport poly (common lhs + OSRSucceeds), zip APX-hard
+  // (common lhs + OSR failure, Corollary 4.6 both directions).
+  EXPECT_EQ(PlannedComplexity(Example47Passport()),
+            URepairComplexity::kPolynomial);
+  EXPECT_EQ(PlannedComplexity(Example47Zip()), URepairComplexity::kApxHard);
+  // {A → B, B → A}: polynomial (Proposition 4.9).
+  EXPECT_EQ(PlannedComplexity(ParseFdSetInferSchemaOrDie("A -> B; B -> A")),
+            URepairComplexity::kPolynomial);
+  // {A → B, C → D}: polynomial for updates though APX-hard for deletions
+  // (Corollary 4.11 direction 2).
+  EXPECT_EQ(PlannedComplexity(DeltaTwoDisjoint()),
+            URepairComplexity::kPolynomial);
+}
+
+TEST(URepairPlannerTest, RatioBoundsComeFromComponents) {
+  auto plan = PlanURepair(Example47Zip().fds);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->ratio_bound, 2.0);  // common lhs: mlc = 1
+  auto office = PlanURepair(OfficeFds().fds);
+  ASSERT_TRUE(office.ok());
+  EXPECT_DOUBLE_EQ(office->ratio_bound, 1.0);
+}
+
+TEST(URepairPlannerTest, ConsensusPeeling) {
+  // {∅→D, AD→B, B→CD} − cl(∅) = {A→B, B→C}: APX-hard (Theorem 4.3 example).
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("{} -> D; A D -> B; B -> C D");
+  auto plan = PlanURepair(parsed.fds);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->complexity, URepairComplexity::kApxHard);
+  AttrId d = *parsed.schema.AttributeId("D");
+  EXPECT_TRUE(plan->consensus_attrs.Contains(d));
+  ASSERT_EQ(plan->components.size(), 1u);
+}
+
+TEST(URepairPlannerTest, DecompositionSplitsComponents) {
+  auto plan = PlanURepair(Delta0Purchase().fds);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->components.size(), 2u);
+  for (const auto& component : plan->components) {
+    EXPECT_EQ(component.route, URepairRoute::kCommonLhsExact);
+  }
+}
+
+TEST(URepairPlannerTest, OfficeEndToEnd) {
+  OfficeExample office = MakeOfficeExample();
+  auto result = ComputeURepair(office.fds, office.table);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->optimal);
+  EXPECT_DOUBLE_EQ(result->distance, 2);
+  EXPECT_TRUE(Satisfies(result->update, office.fds));
+}
+
+TEST(URepairPlannerTest, PlanRendering) {
+  ParsedFdSet parsed = Delta0Purchase();
+  auto plan = PlanURepair(parsed.fds);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = plan->ToString(parsed.schema);
+  EXPECT_NE(rendered.find("common-lhs-exact"), std::string::npos);
+  EXPECT_NE(rendered.find("polynomial"), std::string::npos);
+}
+
+// End-to-end optimality: with the exact-search fallback enabled, tiny
+// instances are solved optimally for *every* named FD set, matching the
+// exhaustive solver.
+class PlannerOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerOptimalityTest, MatchesExactOnTinyTables) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    FdSet delta = named.parsed.fds.WithoutTrivial();
+    if (delta.Attrs().size() > 5) continue;
+    RandomTableOptions options;
+    options.num_tuples = 4;
+    options.domain_size = 2;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    auto result = ComputeURepair(named.parsed.fds, table);
+    ASSERT_TRUE(result.ok()) << named.name << ": " << result.status();
+    EXPECT_TRUE(Satisfies(result->update, named.parsed.fds)) << named.name;
+    auto exact = OptURepairExact(delta, table);
+    ASSERT_TRUE(exact.ok()) << named.name;
+    double optimal = DistUpdOrDie(*exact, table);
+    if (result->optimal) {
+      EXPECT_NEAR(result->distance, optimal, 1e-9)
+          << named.name << "\n" << table.ToString();
+    } else {
+      EXPECT_LE(result->distance, result->ratio_bound * optimal + 1e-9)
+          << named.name;
+    }
+    EXPECT_GE(result->distance, optimal - 1e-9) << named.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerOptimalityTest,
+                         ::testing::Values(60, 61, 62));
+
+// With exact search disabled, hard components report approximation bounds.
+TEST(URepairPlannerTest, ApproxModeReportsBounds) {
+  Rng rng(5150);
+  ParsedFdSet parsed = Delta3Email();
+  RandomTableOptions options;
+  options.num_tuples = 30;
+  options.domain_size = 3;
+  Table table = RandomTable(parsed.schema, options, &rng);
+  URepairOptions planner_options;
+  planner_options.allow_exact_search = false;
+  auto result = ComputeURepair(parsed.fds, table, planner_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->optimal);
+  EXPECT_GE(result->ratio_bound, 1.0);
+  EXPECT_TRUE(Satisfies(result->update, parsed.fds));
+}
+
+// Attribute-disjoint composition (Theorem 4.1): the combined update's cost
+// equals the sum of the component updates' costs.
+TEST(URepairPlannerTest, ComponentCostsAdd) {
+  Rng rng(31337);
+  ParsedFdSet parsed = Delta0Purchase();
+  RandomTableOptions options;
+  options.num_tuples = 12;
+  options.domain_size = 2;
+  Table table = RandomTable(parsed.schema, options, &rng);
+  auto whole = ComputeURepair(parsed.fds, table);
+  ASSERT_TRUE(whole.ok());
+  double sum = 0;
+  for (const FdSet& component :
+       parsed.fds.WithoutTrivial().AttributeDisjointComponents()) {
+    auto part = ComputeURepair(component, table);
+    ASSERT_TRUE(part.ok());
+    sum += part->distance;
+  }
+  EXPECT_NEAR(whole->distance, sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace fdrepair
