@@ -75,7 +75,7 @@ void BM_UpdateToSubset(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_UpdateToSubset)->RangeMultiplier(4)->Range(1024, 65536)
+BENCHMARK(BM_UpdateToSubset)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(65536, 2048))
     ->Unit(benchmark::kMillisecond);
 
 void BM_SubsetToUpdate(benchmark::State& state) {
@@ -94,7 +94,7 @@ void BM_SubsetToUpdate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SubsetToUpdate)->RangeMultiplier(4)->Range(1024, 65536)
+BENCHMARK(BM_SubsetToUpdate)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(65536, 2048))
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

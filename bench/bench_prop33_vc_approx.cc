@@ -123,7 +123,7 @@ void BM_ConflictGraphBuild(benchmark::State& state) {
                                                 parsed.fds));
   }
 }
-BENCHMARK(BM_ConflictGraphBuild)->RangeMultiplier(4)->Range(256, 16384)
+BENCHMARK(BM_ConflictGraphBuild)->RangeMultiplier(4)->Range(256, benchreport::SmokeCap(16384, 1024))
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

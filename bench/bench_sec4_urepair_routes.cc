@@ -67,7 +67,7 @@ void BM_CommonLhsRoute(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_CommonLhsRoute)->RangeMultiplier(4)->Range(1024, 65536)
+BENCHMARK(BM_CommonLhsRoute)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(65536, 2048))
     ->Unit(benchmark::kMillisecond);
 
 // Key-cycle exact route (Proposition 4.9).
@@ -85,7 +85,7 @@ void BM_KeyCycleRoute(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_KeyCycleRoute)->RangeMultiplier(4)->Range(1024, 65536)
+BENCHMARK(BM_KeyCycleRoute)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(65536, 2048))
     ->Unit(benchmark::kMillisecond);
 
 // Decomposed planner on attribute-disjoint unions (Theorem 4.1).
@@ -105,7 +105,7 @@ void BM_DisjointUnionPlanner(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_DisjointUnionPlanner)->RangeMultiplier(4)->Range(1024, 32768)
+BENCHMARK(BM_DisjointUnionPlanner)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(32768, 2048))
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

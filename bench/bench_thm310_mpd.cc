@@ -115,7 +115,7 @@ void BM_MpdTractable(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_MpdTractable)->RangeMultiplier(4)->Range(256, 16384)
+BENCHMARK(BM_MpdTractable)->RangeMultiplier(4)->Range(256, benchreport::SmokeCap(16384, 1024))
     ->Unit(benchmark::kMillisecond);
 
 void BM_MpdBruteForce(benchmark::State& state) {

@@ -88,7 +88,7 @@ void BM_OptSRepairChain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_OptSRepairChain)->RangeMultiplier(4)->Range(1024, 262144)
+BENCHMARK(BM_OptSRepairChain)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(262144, 2048))
     ->Unit(benchmark::kMillisecond);
 
 void BM_OptSRepairMarriage(benchmark::State& state) {
@@ -101,7 +101,7 @@ void BM_OptSRepairMarriage(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_OptSRepairMarriage)->RangeMultiplier(4)->Range(1024, 16384)
+BENCHMARK(BM_OptSRepairMarriage)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(16384, 2048))
     ->Unit(benchmark::kMillisecond);
 
 void BM_OptSRepairSsn(benchmark::State& state) {
@@ -114,7 +114,7 @@ void BM_OptSRepairSsn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_OptSRepairSsn)->RangeMultiplier(4)->Range(1024, 8192)
+BENCHMARK(BM_OptSRepairSsn)->RangeMultiplier(4)->Range(1024, benchreport::SmokeCap(8192, 2048))
     ->Unit(benchmark::kMillisecond);
 
 // The matching engine itself, isolated.

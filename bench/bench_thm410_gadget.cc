@@ -102,7 +102,7 @@ void BM_GadgetBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           (2 * graph.num_edges() + graph.num_nodes()));
 }
-BENCHMARK(BM_GadgetBuild)->RangeMultiplier(4)->Range(64, 4096)
+BENCHMARK(BM_GadgetBuild)->RangeMultiplier(4)->Range(64, benchreport::SmokeCap(4096, 512))
     ->Unit(benchmark::kMicrosecond);
 
 void BM_GadgetApproxRepair(benchmark::State& state) {

@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -56,6 +59,18 @@ class ReportTable {
 inline void Banner(const std::string& experiment_id,
                    const std::string& title) {
   std::cout << "\n=== " << experiment_id << ": " << title << " ===\n";
+}
+
+/// True when FDR_BENCH_SMOKE is set: CI smoke runs cap instance sizes so
+/// every bench binary finishes in seconds instead of minutes.
+inline bool SmokeMode() {
+  static const bool smoke = std::getenv("FDR_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
+/// Caps a benchmark range endpoint in smoke mode; identity otherwise.
+inline int64_t SmokeCap(int64_t full, int64_t smoke_max) {
+  return SmokeMode() ? std::min(full, smoke_max) : full;
 }
 
 inline std::string Num(double value, int precision = 4) {

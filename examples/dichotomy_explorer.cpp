@@ -5,7 +5,7 @@
 //
 // Usage:
 //   ./build/examples/dichotomy_explorer "A -> B; B -> C"
-//   echo "facility -> city; facility room -> floor" | \
+//   echo "facility -> city; facility room -> floor" |
 //       ./build/examples/dichotomy_explorer
 
 #include <iostream>

@@ -1,5 +1,6 @@
 #include "verify/repair_check.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "srepair/opt_srepair.h"
@@ -49,15 +50,19 @@ StatusOr<SubsetCheckResult> CheckSubsetRepair(const FdSet& fds,
   FDR_ASSIGN_OR_RETURN(result.distance, DistSub(subset, table));
   if (!Satisfies(subset, fds)) {
     result.repair_class = SubsetRepairClass::kNotAConsistentSubset;
+    result.optimality_known = false;
     return result;
   }
   // ⊆-maximality (§2.3): no deleted tuple can be restored consistently.
+  result.repair_class = SubsetRepairClass::kSubsetRepair;
   std::vector<char> kept(table.num_tuples(), 0);
   for (int row = 0; row < subset.num_tuples(); ++row) {
     FDR_ASSIGN_OR_RETURN(int parent_row, table.RowOf(subset.id(row)));
     kept[parent_row] = 1;
   }
-  for (int row = 0; row < table.num_tuples(); ++row) {
+  for (int row = 0; row < table.num_tuples() &&
+                    result.repair_class == SubsetRepairClass::kSubsetRepair;
+       ++row) {
     if (kept[row]) continue;
     bool restorable = true;
     for (int other = 0; other < subset.num_tuples() && restorable; ++other) {
@@ -67,12 +72,13 @@ StatusOr<SubsetCheckResult> CheckSubsetRepair(const FdSet& fds,
     }
     if (restorable) {
       result.repair_class = SubsetRepairClass::kConsistentSubset;
-      return result;
     }
   }
-  result.repair_class = SubsetRepairClass::kSubsetRepair;
 
-  // Optimality tier.
+  // Optimality tier — computed for every consistent candidate so callers
+  // can bound approximation ratios even for non-maximal subsets.  A
+  // non-maximal subset can never itself be optimal: restoring a tuple
+  // yields a consistent subset of strictly smaller distance.
   if (OsrSucceeds(fds)) {
     FDR_ASSIGN_OR_RETURN(std::vector<int> rows,
                          OptSRepairRows(fds, TableView(table)));
@@ -89,7 +95,8 @@ StatusOr<SubsetCheckResult> CheckSubsetRepair(const FdSet& fds,
     }
     result.optimal_distance = DistSubOrDie(*exact, table);
   }
-  if (result.distance <= result.optimal_distance + 1e-9) {
+  if (result.repair_class == SubsetRepairClass::kSubsetRepair &&
+      result.distance <= result.optimal_distance + 1e-9) {
     result.repair_class = SubsetRepairClass::kOptimalSubsetRepair;
   }
   return result;
@@ -104,6 +111,7 @@ StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
   FDR_ASSIGN_OR_RETURN(result.distance, DistUpd(update, table));
   if (!Satisfies(update, fds)) {
     result.repair_class = UpdateRepairClass::kNotAConsistentUpdate;
+    result.optimality_known = false;
     return result;
   }
 
@@ -113,6 +121,9 @@ StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
     AttrId attr;
     ValueId original;
   };
+  // The subset enumeration below indexes cells by bit position, so the
+  // count must stay below the width of the mask.
+  max_changed_cells = std::min(max_changed_cells, 63);
   std::vector<Cell> changed;
   for (int row = 0; row < update.num_tuples(); ++row) {
     FDR_ASSIGN_OR_RETURN(int parent_row, table.RowOf(update.id(row)));
@@ -130,7 +141,10 @@ StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
   }
   // §2.3: a U-repair becomes inconsistent if *any* non-empty set of updated
   // values is restored. Enumerate all subsets.
-  for (uint64_t mask = 1; mask < (uint64_t{1} << changed.size()); ++mask) {
+  result.repair_class = UpdateRepairClass::kUpdateRepair;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << changed.size()) &&
+                          result.repair_class == UpdateRepairClass::kUpdateRepair;
+       ++mask) {
     Table reverted = update.Clone();
     for (size_t c = 0; c < changed.size(); ++c) {
       if ((mask >> c) & 1) {
@@ -140,12 +154,13 @@ StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
     }
     if (Satisfies(reverted, fds)) {
       result.repair_class = UpdateRepairClass::kConsistentUpdate;
-      return result;
     }
   }
-  result.repair_class = UpdateRepairClass::kUpdateRepair;
 
   // Optimality tier: a provably optimal plan, else the exhaustive solver.
+  // Computed for every consistent candidate (mirroring CheckSubsetRepair)
+  // so approximation ratios stay checkable; a revertible update can never
+  // itself be optimal because reverting cells strictly lowers dist_upd.
   URepairOptions planner_options;
   auto planned = ComputeURepair(fds, table, planner_options);
   if (planned.ok() && planned->optimal) {
@@ -161,7 +176,8 @@ StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
     }
     result.optimal_distance = DistUpdOrDie(*exact, table);
   }
-  if (result.distance <= result.optimal_distance + 1e-9) {
+  if (result.repair_class == UpdateRepairClass::kUpdateRepair &&
+      result.distance <= result.optimal_distance + 1e-9) {
     result.repair_class = UpdateRepairClass::kOptimalUpdateRepair;
   }
   return result;

@@ -30,10 +30,12 @@ enum class SubsetRepairClass {
 
 const char* SubsetRepairClassToString(SubsetRepairClass repair_class);
 
-/// Classifies `subset` relative to `table` under ∆. The optimality tier is
-/// checked via OptSRepair when OSRSucceeds(∆), else via the exact solver
-/// when the instance is small enough; otherwise the classification stops at
-/// kSubsetRepair ("at least a repair") and `optimality_known` is false.
+/// Classifies `subset` relative to `table` under ∆. The optimal distance is
+/// computed for every consistent candidate — via OptSRepair when
+/// OSRSucceeds(∆), else via the exact solver when the instance is small
+/// enough — so approximation ratios stay checkable even for non-maximal
+/// subsets. `optimality_known` is false for inconsistent candidates and
+/// when the optimum was too expensive to determine.
 struct SubsetCheckResult {
   SubsetRepairClass repair_class = SubsetRepairClass::kNotAConsistentSubset;
   bool optimality_known = true;
@@ -68,9 +70,11 @@ struct UpdateCheckResult {
 
 /// Classifies `update` relative to `table` under ∆. Minimality is verified
 /// over all subsets of changed cells (exponential in their number; guarded
-/// by `max_changed_cells`). Optimality uses the exhaustive solver on small
-/// instances; otherwise `optimality_known` is false and the classification
-/// stops at kUpdateRepair.
+/// by `max_changed_cells`, which is capped at 63 — the enumeration mask is
+/// 64 bits wide). The optimal distance is computed for every
+/// consistent candidate — via a provably-optimal plan, else the exhaustive
+/// solver on small instances; otherwise `optimality_known` is false and
+/// the classification stops at kUpdateRepair.
 StatusOr<UpdateCheckResult> CheckUpdateRepair(const FdSet& fds,
                                               const Table& table,
                                               const Table& update,

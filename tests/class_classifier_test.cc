@@ -99,7 +99,9 @@ TEST_P(ClassifierPropertyTest, StuckSetsAlwaysClassify) {
         << trace.stuck_fds.ToString() << ": " << result.status();
     EXPECT_GE(result->fd_class, 1);
     EXPECT_LE(result->fd_class, 5);
-    if (result->fd_class == 4) EXPECT_TRUE(result->x3.has_value());
+    if (result->fd_class == 4) {
+      EXPECT_TRUE(result->x3.has_value());
+    }
   }
   EXPECT_GT(stuck_seen, 20);  // the sweep actually exercised the hard side
 }

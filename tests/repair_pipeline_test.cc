@@ -1,0 +1,178 @@
+// End-to-end pipeline round-trips: every algorithm's output is re-checked
+// with the independent verifiers in verify/repair_check — consistency via
+// Satisfies, the reported distance via DistSub/DistUpd recomputation, and
+// the §2.3 repair-class ladder (consistent ⊂ repair ⊂ optimal) — on
+// randomized instances across all named FD sets.  The planners and the
+// checkers share no solver state on the polynomial side's happy path, so
+// agreement here is a genuine cross-validation.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "srepair/planner.h"
+#include "storage/consistency.h"
+#include "storage/distance.h"
+#include "urepair/planner.h"
+#include "verify/repair_check.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace fdrepair {
+namespace {
+
+class RepairPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+
+// ComputeSRepair (auto route) on random weighted tables: the output must be
+// a consistent subset, the reported distance must match an independent
+// recomputation, claimed optimality must survive the checker, and the
+// ratio bound must hold whenever the checker can determine the optimum.
+TEST_P(RepairPipelineTest, SRepairRoundTrip) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 10;
+    options.domain_size = 3;
+    options.heavy_fraction = 0.5;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+
+    auto result = ComputeSRepair(named.parsed.fds, table);
+    ASSERT_TRUE(result.ok()) << named.name << ": " << result.status();
+    EXPECT_TRUE(Satisfies(result->repair, named.parsed.fds)) << named.name;
+    EXPECT_NEAR(DistSubOrDie(result->repair, table), result->distance, 1e-9)
+        << named.name;
+
+    auto check = CheckSubsetRepair(named.parsed.fds, table, result->repair);
+    ASSERT_TRUE(check.ok()) << named.name << ": " << check.status();
+    EXPECT_NE(check->repair_class, SubsetRepairClass::kNotAConsistentSubset)
+        << named.name;
+    EXPECT_NEAR(check->distance, result->distance, 1e-9) << named.name;
+    if (result->optimal && check->optimality_known) {
+      EXPECT_EQ(check->repair_class, SubsetRepairClass::kOptimalSubsetRepair)
+          << named.name << ": planner claims optimal, checker says "
+          << SubsetRepairClassToString(check->repair_class);
+    }
+    if (check->optimality_known) {
+      EXPECT_LE(check->distance,
+                result->ratio_bound * check->optimal_distance + 1e-6)
+          << named.name << ": ratio bound " << result->ratio_bound
+          << " violated (dist " << check->distance << ", opt "
+          << check->optimal_distance << ")";
+    }
+  }
+}
+
+// The exact strategy must always be confirmed optimal by the checker on
+// instances small enough for the checker's own exhaustive solver.
+TEST_P(RepairPipelineTest, SRepairExactIsCheckedOptimal) {
+  Rng rng(GetParam() + 1);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 8;
+    options.domain_size = 2;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+
+    SRepairOptions srepair_options;
+    srepair_options.strategy = SRepairStrategy::kExactOnly;
+    auto result = ComputeSRepair(named.parsed.fds, table, srepair_options);
+    ASSERT_TRUE(result.ok()) << named.name << ": " << result.status();
+    EXPECT_TRUE(result->optimal) << named.name;
+
+    auto check = CheckSubsetRepair(named.parsed.fds, table, result->repair);
+    ASSERT_TRUE(check.ok()) << named.name << ": " << check.status();
+    ASSERT_TRUE(check->optimality_known) << named.name;
+    EXPECT_EQ(check->repair_class, SubsetRepairClass::kOptimalSubsetRepair)
+        << named.name;
+    EXPECT_NEAR(check->optimal_distance, result->distance, 1e-9) << named.name;
+  }
+}
+
+// ComputeURepair on tiny tables (small enough that the checker can both
+// enumerate reverted-cell subsets and run its exhaustive optimum).
+TEST_P(RepairPipelineTest, URepairRoundTrip) {
+  Rng rng(GetParam() + 2);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    RandomTableOptions options;
+    options.num_tuples = 5;
+    options.domain_size = 2;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+
+    auto result = ComputeURepair(named.parsed.fds, table);
+    ASSERT_TRUE(result.ok()) << named.name << ": " << result.status();
+    EXPECT_TRUE(Satisfies(result->update, named.parsed.fds)) << named.name;
+    EXPECT_NEAR(DistUpdOrDie(result->update, table), result->distance, 1e-9)
+        << named.name;
+
+    auto check = CheckUpdateRepair(named.parsed.fds, table, result->update,
+                                   /*max_changed_cells=*/18);
+    if (!check.ok()) {
+      // Too many changed cells for the minimality enumeration: the basic
+      // contract was still verified above, so just move on.
+      ASSERT_EQ(check.status().code(), StatusCode::kResourceExhausted)
+          << named.name << ": " << check.status();
+      continue;
+    }
+    EXPECT_NE(check->repair_class, UpdateRepairClass::kNotAConsistentUpdate)
+        << named.name;
+    EXPECT_NEAR(check->distance, result->distance, 1e-9) << named.name;
+    if (result->optimal && check->optimality_known) {
+      EXPECT_EQ(check->repair_class, UpdateRepairClass::kOptimalUpdateRepair)
+          << named.name << ": planner claims optimal, checker says "
+          << UpdateRepairClassToString(check->repair_class);
+    }
+    if (check->optimality_known) {
+      EXPECT_LE(check->distance,
+                result->ratio_bound * check->optimal_distance + 1e-6)
+          << named.name << ": ratio bound " << result->ratio_bound
+          << " violated (dist " << check->distance << ", opt "
+          << check->optimal_distance << ")";
+    }
+  }
+}
+
+// Planted mostly-clean tables: repair cost is bounded by the corruption
+// cost, and both planners' outputs round-trip through the checkers.
+TEST_P(RepairPipelineTest, PlantedTableRoundTrip) {
+  Rng rng(GetParam() + 3);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    PlantedTableOptions options;
+    options.num_tuples = 12;
+    options.corruptions = 3;
+    Rng table_rng = rng.Fork();
+    Table table = PlantedDirtyTable(named.parsed.schema, named.parsed.fds,
+                                    options, &table_rng);
+
+    auto srepair = ComputeSRepair(named.parsed.fds, table);
+    ASSERT_TRUE(srepair.ok()) << named.name << ": " << srepair.status();
+    EXPECT_TRUE(Satisfies(srepair->repair, named.parsed.fds)) << named.name;
+    EXPECT_NEAR(DistSubOrDie(srepair->repair, table), srepair->distance, 1e-9)
+        << named.name;
+    // Each corrupted cell dirties at most one tuple, so deleting those
+    // tuples is a consistent subset; the planner is at worst ratio_bound
+    // away from that cost.
+    EXPECT_LE(srepair->distance,
+              srepair->ratio_bound * options.corruptions + 1e-9)
+        << named.name;
+
+    auto scheck = CheckSubsetRepair(named.parsed.fds, table, srepair->repair);
+    ASSERT_TRUE(scheck.ok()) << named.name << ": " << scheck.status();
+    EXPECT_NE(scheck->repair_class, SubsetRepairClass::kNotAConsistentSubset)
+        << named.name;
+
+    URepairOptions urepair_options;
+    urepair_options.allow_exact_search = false;
+    auto urepair = ComputeURepair(named.parsed.fds, table, urepair_options);
+    ASSERT_TRUE(urepair.ok()) << named.name << ": " << urepair.status();
+    EXPECT_TRUE(Satisfies(urepair->update, named.parsed.fds)) << named.name;
+    EXPECT_NEAR(DistUpdOrDie(urepair->update, table), urepair->distance, 1e-9)
+        << named.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairPipelineTest,
+                         ::testing::Values(2026, 4045, 8090));
+
+}  // namespace
+}  // namespace fdrepair
