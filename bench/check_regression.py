@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Compares the BENCH_*.json files emitted by the bench binaries (run with
+--json, or with FDR_BENCH_JSON=1 in the environment) against the tracked
+baselines in bench/baselines.json:
+
+    python3 bench/check_regression.py --dir build/bench
+
+Exits non-zero when any tracked metric regresses past its threshold
+(default 25%). Entries with "min_cpus" are skipped on machines with fewer
+CPUs — e.g. the engine's 4-thread speedup targets only mean something on
+>=4-core runners. `--write-baselines` refreshes the baseline values in
+place from the current run (keeping directions/thresholds), which is how
+the checked-in numbers get updated after an intentional perf change.
+
+Stdlib only: no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        report = json.load(f)
+    return report, {m["name"]: m["value"] for m in report.get("metrics", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "baselines.json"))
+    parser.add_argument("--dir", default="build/bench",
+                        help="directory holding the BENCH_*.json outputs")
+    parser.add_argument("--write-baselines", action="store_true",
+                        help="rewrite baseline values from the current run")
+    args = parser.parse_args()
+
+    with open(args.baselines) as f:
+        config = json.load(f)
+    default_threshold = config.get("default_threshold", 0.25)
+
+    reports = {}
+    failures = 0
+    rows = []
+    for entry in config["tracked"]:
+        name = entry["name"]
+        fname = entry["file"]
+        threshold = entry.get("threshold", default_threshold)
+        direction = entry.get("direction", "lower")
+        baseline = entry["baseline"]
+
+        path = os.path.join(args.dir, fname)
+        if fname not in reports:
+            if not os.path.exists(path):
+                rows.append((name, baseline, None, "MISSING FILE " + fname))
+                failures += 1
+                continue
+            reports[fname] = load_metrics(path)
+        report, metrics = reports[fname]
+
+        # Baselines are calibrated from FDR_BENCH_SMOKE=1 runs; comparing
+        # (or rebasing) against full-size metrics would be apples to
+        # oranges — e.g. us-per-tuple numbers grow superlinearly with n.
+        if not report.get("smoke"):
+            rows.append((name, baseline, metrics.get(name),
+                         "NON-SMOKE RUN (re-run with FDR_BENCH_SMOKE=1)"))
+            failures += 1
+            continue
+
+        min_cpus = entry.get("min_cpus")
+        if min_cpus is not None and report.get("cpus", 0) < min_cpus:
+            rows.append((name, baseline, metrics.get(name),
+                         "SKIP (needs >=%d cpus, have %s)" %
+                         (min_cpus, report.get("cpus"))))
+            continue
+        if name not in metrics:
+            rows.append((name, baseline, None, "MISSING METRIC"))
+            failures += 1
+            continue
+
+        value = metrics[name]
+        if args.write_baselines:
+            # Rebase WITH headroom, never with the raw measurement: shared
+            # CI runners are slower and noisier than whatever quiet machine
+            # the refresh ran on. 'lower' timings get 2x slack, 'higher'
+            # floors (speedups) are relaxed to 80% of what was measured.
+            margin = entry.get("rebase_margin",
+                               2.0 if direction == "lower" else 0.8)
+            entry["baseline"] = round(value * margin, 6)
+            rows.append((name, entry["baseline"], value, "REBASED"))
+            continue
+        if direction == "lower":
+            limit = baseline * (1 + threshold)
+            ok = value <= limit
+            verdict = "OK" if ok else "REGRESSED (> %.4g)" % limit
+        else:
+            limit = baseline * (1 - threshold)
+            ok = value >= limit
+            verdict = "OK" if ok else "REGRESSED (< %.4g)" % limit
+        if not ok:
+            failures += 1
+        rows.append((name, baseline, value, verdict))
+
+    width = max(len(r[0]) for r in rows) if rows else 10
+    print("%-*s  %12s  %12s  %s" % (width, "metric", "baseline", "value",
+                                    "verdict"))
+    for name, baseline, value, verdict in rows:
+        value_s = "%.4g" % value if value is not None else "-"
+        print("%-*s  %12.4g  %12s  %s" % (width, name, baseline, value_s,
+                                          verdict))
+
+    if args.write_baselines:
+        if failures:
+            print("\nrefusing to rewrite baselines: %d tracked metric(s) "
+                  "missing from %s" % (failures, args.dir))
+            return 1
+        with open(args.baselines, "w") as f:
+            json.dump(config, f, indent=2)
+            f.write("\n")
+        print("baselines rewritten: %s" % args.baselines)
+        return 0
+
+    if failures:
+        print("\n%d tracked benchmark(s) regressed or missing" % failures)
+        return 1
+    print("\nall tracked benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

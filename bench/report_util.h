@@ -11,10 +11,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fdrepair::benchreport {
@@ -56,8 +59,92 @@ class ReportTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Machine-readable metrics for the CI benchmark-regression gate.
+///
+/// Report sections call Add(...) for every tracked number; when the binary
+/// runs with `--json[=path]` (or FDR_BENCH_JSON is set in the environment)
+/// the collected metrics are written as BENCH_<experiment>.json — the file
+/// bench/check_regression.py compares against bench/baselines.json.
+class JsonReport {
+ public:
+  static JsonReport& Get() {
+    static JsonReport report;
+    return report;
+  }
+
+  /// Called by Banner: the first experiment id names the output file.
+  void SetExperimentId(const std::string& id) {
+    if (experiment_id_.empty()) experiment_id_ = id;
+  }
+
+  /// Strips `--json` / `--json=path` from argv (so google-benchmark never
+  /// sees it) and enables JSON output. FDR_BENCH_JSON=1 also enables it.
+  void ParseArgs(int* argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        enabled_ = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        enabled_ = true;
+        path_ = argv[i] + 7;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    // Value-sensitive: FDR_BENCH_JSON=0 (or empty) must NOT enable it.
+    const char* env = std::getenv("FDR_BENCH_JSON");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      enabled_ = true;
+    }
+  }
+
+  /// Records one tracked metric. Names should be stable across runs —
+  /// bench/baselines.json refers to them.
+  void Add(const std::string& name, double value, const std::string& unit) {
+    entries_.push_back(Entry{name, value, unit});
+  }
+
+  /// Writes BENCH_<experiment>.json (or the --json=path override) into the
+  /// current directory. No-op unless enabled.
+  void Write() const {
+    if (!enabled_) return;
+    std::string id = experiment_id_.empty() ? "report" : experiment_id_;
+    std::string path = path_.empty() ? "BENCH_" + id + ".json" : path_;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "JsonReport: cannot write " << path << "\n";
+      return;
+    }
+    os << "{\n  \"experiment\": \"" << id << "\",\n"
+       << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"smoke\": " << (std::getenv("FDR_BENCH_SMOKE") ? "true" : "false")
+       << ",\n  \"metrics\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      os << "    {\"name\": \"" << entries_[i].name << "\", \"value\": "
+         << std::setprecision(17) << entries_[i].value << ", \"unit\": \""
+         << entries_[i].unit << "\"}" << (i + 1 < entries_.size() ? "," : "")
+         << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "JSON metrics written to " << path << "\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  bool enabled_ = false;
+  std::string experiment_id_;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
 inline void Banner(const std::string& experiment_id,
                    const std::string& title) {
+  JsonReport::Get().SetExperimentId(experiment_id);
   std::cout << "\n=== " << experiment_id << ": " << title << " ===\n";
 }
 
@@ -80,16 +167,20 @@ inline std::string Num(double value, int precision = 4) {
 }
 
 /// Runs the report, then google-benchmark, from each bench's main().
-#define FDR_BENCH_MAIN(report_fn)                                  \
-  int main(int argc, char** argv) {                                \
-    report_fn();                                                   \
-    ::benchmark::Initialize(&argc, argv);                          \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
-      return 1;                                                    \
-    }                                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                         \
-    ::benchmark::Shutdown();                                       \
-    return 0;                                                      \
+/// `--json[=path]` (stripped before google-benchmark sees the args) makes
+/// the report's tracked metrics land in BENCH_<experiment>.json.
+#define FDR_BENCH_MAIN(report_fn)                                       \
+  int main(int argc, char** argv) {                                     \
+    ::fdrepair::benchreport::JsonReport::Get().ParseArgs(&argc, argv);  \
+    report_fn();                                                        \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {         \
+      return 1;                                                         \
+    }                                                                   \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    ::fdrepair::benchreport::JsonReport::Get().Write();                 \
+    return 0;                                                           \
   }
 
 }  // namespace fdrepair::benchreport

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "io-error";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -34,6 +34,9 @@ enum class StatusCode {
   kIoError = 6,
   /// Internal invariant violation that was recoverable enough to report.
   kInternal = 7,
+  /// A per-job deadline expired before the computation finished (the
+  /// RepairEngine's cooperative cancellation; partial work is discarded).
+  kDeadlineExceeded = 8,
 };
 
 /// Returns the canonical lowercase name of a code ("ok", "invalid-argument"...).
@@ -74,6 +77,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

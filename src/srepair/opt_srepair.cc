@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
+#include "engine/block_partitioner.h"
+#include "engine/thread_pool.h"
 #include "graph/bipartite_matching.h"
 #include "srepair/osr_succeeds.h"
 #include "srepair/simplification.h"
@@ -10,11 +13,70 @@
 namespace fdrepair {
 namespace {
 
+/// One block's solution: its kept rows and their weight, or a failure.
+struct BlockResult {
+  std::vector<int> rows;
+  double weight = 0;
+  Status status;
+};
+
+Status Recurse(const FdSet& fds, const TableView& view,
+               const OptSRepairExec& exec, std::vector<int>* kept,
+               double* kept_weight);
+
+// Solves every block view under ∆ = `fds` into block-local accumulators —
+// sequentially, or on exec.pool when the parent view is large enough to
+// amortize the fan-out. Returns the first failing block's status in block
+// order; on success `results` holds one entry per block. Callers merge in
+// block order, so the reduction (including floating-point weight sums) is
+// the same expression tree for every thread count.
+//
+// The sequential path deliberately buffers per block too (instead of
+// appending straight into the caller's accumulators, as the pre-engine
+// code did): appending directly would sum weights leaf-by-leaf across
+// block boundaries, a *different* floating-point expression tree than the
+// partial-sums-then-merge shape of the parallel path, and the
+// bit-identical-across-thread-counts guarantee would be lost on weight
+// ties. The cost is one extra append of each kept row per recursion level.
+// `block_view(b)` returns the b-th block's view (no copies).
+template <typename BlockViewFn>
+Status SolveBlocks(const FdSet& fds, int num_blocks,
+                   const BlockViewFn& block_view, const OptSRepairExec& exec,
+                   int parent_tuples, std::vector<BlockResult>* results) {
+  results->resize(num_blocks);
+  auto solve_one = [&](int b) {
+    BlockResult& result = (*results)[b];
+    result.status =
+        Recurse(fds, block_view(b), exec, &result.rows, &result.weight);
+  };
+  const bool parallel = exec.pool != nullptr && exec.pool->num_threads() > 1 &&
+                        num_blocks > 1 &&
+                        parent_tuples >= exec.parallel_cutoff;
+  if (parallel) {
+    exec.pool->ParallelFor(num_blocks, solve_one);
+    for (const BlockResult& result : *results) {
+      FDR_RETURN_IF_ERROR(result.status);
+    }
+  } else {
+    for (int b = 0; b < num_blocks; ++b) {
+      solve_one(b);
+      FDR_RETURN_IF_ERROR((*results)[b].status);
+    }
+  }
+  return Status::OK();
+}
+
 // Recursive body of Algorithm 1. Appends the kept dense row positions to
 // `kept` and adds their total weight to `kept_weight`.
-Status Recurse(const FdSet& fds, const TableView& view, std::vector<int>* kept,
+Status Recurse(const FdSet& fds, const TableView& view,
+               const OptSRepairExec& exec, std::vector<int>* kept,
                double* kept_weight) {
   if (view.empty()) return Status::OK();
+  if (exec.has_deadline() &&
+      std::chrono::steady_clock::now() >= exec.deadline) {
+    return Status::DeadlineExceeded(
+        "OptSRepair deadline expired mid-recursion");
+  }
 
   SimplificationStep step = NextSimplification(fds);
   switch (step.kind) {
@@ -30,29 +92,36 @@ Status Recurse(const FdSet& fds, const TableView& view, std::vector<int>* kept,
       // Subroutine 1: group by the common lhs attribute and take the union
       // of the groups' optimal S-repairs under ∆ − A. Tuples in different
       // groups disagree on A ∈ lhs of every FD, so the union is consistent.
-      for (const TableView& group : view.GroupBy(step.removed)) {
-        FDR_RETURN_IF_ERROR(Recurse(step.after, group, kept, kept_weight));
+      // Plain GroupBy, not PartitionByAttrs: this route never reads the
+      // per-block projection keys, so don't materialize them.
+      std::vector<TableView> blocks = view.GroupBy(step.removed);
+      std::vector<BlockResult> results;
+      FDR_RETURN_IF_ERROR(SolveBlocks(
+          step.after, static_cast<int>(blocks.size()),
+          [&](int b) -> const TableView& { return blocks[b]; }, exec,
+          view.num_tuples(), &results));
+      for (BlockResult& result : results) {
+        kept->insert(kept->end(), result.rows.begin(), result.rows.end());
+        *kept_weight += result.weight;
       }
       return Status::OK();
     }
     case SimplificationKind::kConsensus: {
       // Subroutine 2: all surviving tuples must agree on A, so solve each
       // A-group independently and keep only the heaviest repair.
-      std::vector<int> best_rows;
-      double best_weight = -1;
-      for (const TableView& group : view.GroupBy(step.removed)) {
-        std::vector<int> group_rows;
-        double group_weight = 0;
-        FDR_RETURN_IF_ERROR(
-            Recurse(step.after, group, &group_rows, &group_weight));
-        if (group_weight > best_weight) {
-          best_weight = group_weight;
-          best_rows = std::move(group_rows);
-        }
+      std::vector<TableView> blocks = view.GroupBy(step.removed);
+      std::vector<BlockResult> results;
+      FDR_RETURN_IF_ERROR(SolveBlocks(
+          step.after, static_cast<int>(blocks.size()),
+          [&](int b) -> const TableView& { return blocks[b]; }, exec,
+          view.num_tuples(), &results));
+      const BlockResult* best = nullptr;
+      for (const BlockResult& result : results) {
+        if (best == nullptr || result.weight > best->weight) best = &result;
       }
-      if (best_weight > 0) {
-        kept->insert(kept->end(), best_rows.begin(), best_rows.end());
-        *kept_weight += best_weight;
+      if (best != nullptr && best->weight > 0) {
+        kept->insert(kept->end(), best->rows.begin(), best->rows.end());
+        *kept_weight += best->weight;
       }
       return Status::OK();
     }
@@ -62,58 +131,38 @@ Status Recurse(const FdSet& fds, const TableView& view, std::vector<int>* kept,
       // value, tuples of at most one X2 value and vice versa (cl(X1) =
       // cl(X2) ⊇ X1X2), so block selection is a bipartite matching between
       // π_X1 T and π_X2 T, maximizing kept weight.
-      const AttrSet x1 = step.marriage_x1;
-      const AttrSet x2 = step.marriage_x2;
-
-      struct Block {
-        std::vector<int> rows;
-        double weight = 0;
-        int left = -1;
-        int right = -1;
-      };
-      std::vector<TableView> groups = view.GroupBy(x1.Union(x2));
-      std::vector<Block> blocks(groups.size());
-      std::unordered_map<ProjectionKey, int, ProjectionKeyHash> left_index;
-      std::unordered_map<ProjectionKey, int, ProjectionKeyHash> right_index;
-      for (size_t b = 0; b < groups.size(); ++b) {
-        FDR_RETURN_IF_ERROR(Recurse(step.after, groups[b], &blocks[b].rows,
-                                    &blocks[b].weight));
-        const Tuple& witness = groups[b].tuple(0);
-        ProjectionKey key1 = ProjectTuple(witness, x1);
-        ProjectionKey key2 = ProjectTuple(witness, x2);
-        auto [it1, inserted1] =
-            left_index.emplace(std::move(key1),
-                               static_cast<int>(left_index.size()));
-        auto [it2, inserted2] =
-            right_index.emplace(std::move(key2),
-                                static_cast<int>(right_index.size()));
-        blocks[b].left = it1->second;
-        blocks[b].right = it2->second;
-      }
+      BlockPartition partition =
+          PartitionForMarriage(view, step.marriage_x1, step.marriage_x2);
+      std::vector<BlockResult> results;
+      FDR_RETURN_IF_ERROR(SolveBlocks(
+          step.after, static_cast<int>(partition.blocks.size()),
+          [&](int b) -> const TableView& { return partition.blocks[b].view; },
+          exec, view.num_tuples(), &results));
       std::vector<BipartiteEdge> edges;
-      edges.reserve(blocks.size());
-      for (size_t b = 0; b < blocks.size(); ++b) {
-        edges.push_back(BipartiteEdge{blocks[b].left, blocks[b].right,
-                                      blocks[b].weight});
+      edges.reserve(partition.blocks.size());
+      for (size_t b = 0; b < partition.blocks.size(); ++b) {
+        edges.push_back(BipartiteEdge{partition.blocks[b].left,
+                                      partition.blocks[b].right,
+                                      results[b].weight});
       }
       MatchingResult matching = MaxWeightBipartiteMatching(
-          static_cast<int>(left_index.size()),
-          static_cast<int>(right_index.size()), edges);
+          partition.num_left, partition.num_right, edges);
       // Blocks are keyed by their unique (left, right) pair.
-      std::unordered_map<uint64_t, const Block*> block_of;
-      for (const Block& block : blocks) {
-        uint64_t key =
-            (static_cast<uint64_t>(static_cast<uint32_t>(block.left)) << 32) |
-            static_cast<uint32_t>(block.right);
-        block_of[key] = &block;
+      std::unordered_map<uint64_t, const BlockResult*> result_of;
+      for (size_t b = 0; b < partition.blocks.size(); ++b) {
+        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(
+                            partition.blocks[b].left))
+                        << 32) |
+                       static_cast<uint32_t>(partition.blocks[b].right);
+        result_of[key] = &results[b];
       }
       for (const auto& [left, right] : matching.pairs) {
         uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(left))
                         << 32) |
                        static_cast<uint32_t>(right);
-        const Block* block = block_of.at(key);
-        kept->insert(kept->end(), block->rows.begin(), block->rows.end());
-        *kept_weight += block->weight;
+        const BlockResult* result = result_of.at(key);
+        kept->insert(kept->end(), result->rows.begin(), result->rows.end());
+        *kept_weight += result->weight;
       }
       return Status::OK();
     }
@@ -130,7 +179,8 @@ Status Recurse(const FdSet& fds, const TableView& view, std::vector<int>* kept,
 }  // namespace
 
 StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
-                                          const TableView& view) {
+                                          const TableView& view,
+                                          const OptSRepairExec& exec) {
   // §3.2: "the success or failure of OptSRepair(∆, T) depends only on ∆,
   // and not on T" — enforce that by running Algorithm 2 up front, so small
   // or empty tables cannot mask a non-simplifiable ∆.
@@ -141,15 +191,25 @@ StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
   }
   std::vector<int> kept;
   double kept_weight = 0;
-  FDR_RETURN_IF_ERROR(Recurse(fds, view, &kept, &kept_weight));
+  FDR_RETURN_IF_ERROR(Recurse(fds, view, exec, &kept, &kept_weight));
   std::sort(kept.begin(), kept.end());
   return kept;
 }
 
-StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table) {
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view) {
+  return OptSRepairRows(fds, view, OptSRepairExec{});
+}
+
+StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table,
+                           const OptSRepairExec& exec) {
   FDR_ASSIGN_OR_RETURN(std::vector<int> rows,
-                       OptSRepairRows(fds, TableView(table)));
+                       OptSRepairRows(fds, TableView(table), exec));
   return table.SubsetByRows(rows);
+}
+
+StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table) {
+  return OptSRepair(fds, table, OptSRepairExec{});
 }
 
 }  // namespace fdrepair

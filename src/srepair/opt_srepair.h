@@ -13,10 +13,18 @@
 //   - otherwise fail (the problem is APX-complete; Theorem 3.4).
 //
 // Weighted tuples and duplicates are fully supported (Theorem 3.2).
+//
+// Every simplification step decomposes the instance into independent
+// blocks; OptSRepairExec lets callers run those blocks on a ThreadPool.
+// Results are bit-identical for every thread count: blocks are solved into
+// block-local accumulators and merged in first-appearance block order, so
+// the reduction — including floating-point weight summation — follows the
+// same expression tree whether blocks run sequentially or concurrently.
 
 #ifndef FDREPAIR_SREPAIR_OPT_SREPAIR_H_
 #define FDREPAIR_SREPAIR_OPT_SREPAIR_H_
 
+#include <chrono>
 #include <vector>
 
 #include "catalog/fdset.h"
@@ -26,14 +34,44 @@
 
 namespace fdrepair {
 
+class ThreadPool;
+
+/// How (and how long) the Algorithm-1 recursion may execute.
+struct OptSRepairExec {
+  /// Blocks of a simplification step run on this pool when set (and the
+  /// pool has more than one thread). Null: the classic sequential path.
+  ThreadPool* pool = nullptr;
+  /// A step only fans its blocks out to the pool when its view still holds
+  /// at least this many tuples; smaller sub-instances stay on the calling
+  /// thread. Purely a performance knob — results never depend on it.
+  int parallel_cutoff = 2048;
+  /// Cooperative deadline, checked at every recursion node. Once passed,
+  /// the recursion unwinds with kDeadlineExceeded (all in-flight blocks
+  /// still run to their own deadline check; nothing is leaked).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+};
+
 /// Runs Algorithm 1 on a view; returns the dense row positions (into the
 /// underlying table) of an optimal S-repair, in increasing order.
-/// Fails with kFailedPrecondition iff OSRSucceeds(∆) is false.
+/// Fails with kFailedPrecondition iff OSRSucceeds(∆) is false, and with
+/// kDeadlineExceeded when exec.deadline expires mid-run.
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairExec& exec);
+
+/// Sequential convenience overload (exec = {}).
 StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
                                           const TableView& view);
 
 /// Convenience: materializes the optimal S-repair of `table` as a Table
 /// (identifiers and weights preserved).
+StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table,
+                           const OptSRepairExec& exec);
 StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table);
 
 }  // namespace fdrepair

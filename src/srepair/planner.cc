@@ -46,6 +46,11 @@ const char* SRepairAlgorithmToString(SRepairAlgorithm algorithm) {
 
 StatusOr<SRepairResult> ComputeSRepair(const FdSet& fds, const Table& table,
                                        const SRepairOptions& options) {
+  if (options.exec.has_deadline() &&
+      std::chrono::steady_clock::now() >= options.exec.deadline) {
+    return Status::DeadlineExceeded(
+        "S-repair deadline expired before planning started");
+  }
   SRepairVerdict verdict = ClassifySRepair(fds);
 
   auto finish = [&](Table repair, bool optimal, double ratio,
@@ -62,7 +67,8 @@ StatusOr<SRepairResult> ComputeSRepair(const FdSet& fds, const Table& table,
                     SRepairAlgorithm::kVertexCover2Approx);
     case SRepairStrategy::kExactOnly: {
       if (verdict.polynomial) {
-        FDR_ASSIGN_OR_RETURN(Table repair, OptSRepair(fds, table));
+        FDR_ASSIGN_OR_RETURN(Table repair,
+                             OptSRepair(fds, table, options.exec));
         return finish(std::move(repair), true, 1.0,
                       SRepairAlgorithm::kOptSRepair);
       }
@@ -73,7 +79,8 @@ StatusOr<SRepairResult> ComputeSRepair(const FdSet& fds, const Table& table,
     }
     case SRepairStrategy::kAuto: {
       if (verdict.polynomial) {
-        FDR_ASSIGN_OR_RETURN(Table repair, OptSRepair(fds, table));
+        FDR_ASSIGN_OR_RETURN(Table repair,
+                             OptSRepair(fds, table, options.exec));
         return finish(std::move(repair), true, 1.0,
                       SRepairAlgorithm::kOptSRepair);
       }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "srepair/class_classifier.h"
+#include "srepair/opt_srepair.h"
 #include "srepair/osr_succeeds.h"
 #include "storage/distance.h"
 #include "storage/table.h"
@@ -50,6 +51,10 @@ struct SRepairOptions {
   /// kAuto falls back from exact to approximate above this many conflicted
   /// tuples on the hard side.
   int exact_guard = 40;
+  /// Thread pool + deadline for the OptSRepair route (see opt_srepair.h).
+  /// The exact and approximate routes only honor exec.deadline at entry
+  /// (admission control), not mid-search.
+  OptSRepairExec exec;
 };
 
 /// Which algorithm actually produced a repair.

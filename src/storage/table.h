@@ -29,6 +29,15 @@ using Tuple = std::vector<ValueId>;
 /// Tuples are stored row-major. The ValuePool is shared via shared_ptr so
 /// repairs (subsets, updates) of the same table can intern new values —
 /// in particular fresh constants — without copying the dictionary.
+///
+/// Thread safety (audited for the parallel repair engine): every const
+/// member function is a pure read of immutable-after-append state, so any
+/// number of threads may read one Table concurrently — this is what lets
+/// OptSRepair's blocks share the parent table without copies. Mutators
+/// (AddTuple*, SetValue, Intern, FreshValue) are NOT synchronized and must
+/// not run concurrently with reads of the same Table. The shared ValuePool
+/// *is* internally synchronized (see value_pool.h), so derived tables may
+/// intern on a pool that other threads are reading through.
 class Table {
  public:
   /// An empty table over `schema` with a private value pool.

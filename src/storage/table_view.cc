@@ -30,19 +30,29 @@ ProjectionKey ProjectTuple(const Tuple& tuple, AttrSet attrs) {
   return key;
 }
 
-std::vector<TableView> TableView::GroupBy(AttrSet attrs) const {
+GroupedRows TableView::GroupRows(AttrSet attrs) const {
+  GroupedRows out;
   std::unordered_map<ProjectionKey, int, ProjectionKeyHash> group_of;
-  std::vector<std::vector<int>> groups;
   for (int i = 0; i < num_tuples(); ++i) {
     ProjectionKey key = ProjectTuple(tuple(i), attrs);
     auto [it, inserted] =
-        group_of.emplace(std::move(key), static_cast<int>(groups.size()));
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(rows_[i]);
+        group_of.emplace(std::move(key), static_cast<int>(out.rows.size()));
+    if (inserted) {
+      // Copy from the stable map node: one copy per distinct group, not
+      // one per row.
+      out.keys.push_back(it->first);
+      out.rows.emplace_back();
+    }
+    out.rows[it->second].push_back(rows_[i]);
   }
+  return out;
+}
+
+std::vector<TableView> TableView::GroupBy(AttrSet attrs) const {
+  GroupedRows groups = GroupRows(attrs);
   std::vector<TableView> out;
-  out.reserve(groups.size());
-  for (auto& group : groups) out.emplace_back(*table_, std::move(group));
+  out.reserve(groups.rows.size());
+  for (auto& group : groups.rows) out.emplace_back(*table_, std::move(group));
   return out;
 }
 

@@ -15,7 +15,36 @@
 
 namespace fdrepair {
 
+/// A key for hashing a tuple's projection onto an AttrSet.
+struct ProjectionKey {
+  std::vector<ValueId> values;
+  bool operator==(const ProjectionKey& other) const = default;
+};
+
+struct ProjectionKeyHash {
+  size_t operator()(const ProjectionKey& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (ValueId v : key.values) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Projects `tuple` onto `attrs` (in increasing attribute order).
+ProjectionKey ProjectTuple(const Tuple& tuple, AttrSet attrs);
+
+/// A π_attrs grouping of view rows: keys[g] is group g's projection and
+/// rows[g] its dense row positions, in first-appearance order.
+struct GroupedRows {
+  std::vector<ProjectionKey> keys;
+  std::vector<std::vector<int>> rows;
+};
+
 /// A lightweight (pointer + indices) view; the Table must outlive it.
+/// Views only read the table, so distinct views over one table may be used
+/// from different threads concurrently (see the Table thread-safety note).
 class TableView {
  public:
   /// A view of every row of `table`.
@@ -41,7 +70,13 @@ class TableView {
   /// Sum of view-row weights.
   double TotalWeight() const;
 
-  /// Groups the view rows by their projection onto `attrs` (π_attrs).
+  /// Groups the view rows by their projection onto `attrs` (π_attrs),
+  /// in first-appearance order, keeping each group's projection key.
+  /// This ordering is load-bearing: the parallel engine's bit-identical
+  /// guarantee reduces block results in exactly this order.
+  GroupedRows GroupRows(AttrSet attrs) const;
+
+  /// GroupRows, with each group wrapped as a view (keys dropped).
   /// Groups come back in first-appearance order; each group is non-empty.
   std::vector<TableView> GroupBy(AttrSet attrs) const;
 
@@ -52,26 +87,6 @@ class TableView {
   const Table* table_;
   std::vector<int> rows_;
 };
-
-/// A key for hashing a tuple's projection onto an AttrSet.
-struct ProjectionKey {
-  std::vector<ValueId> values;
-  bool operator==(const ProjectionKey& other) const = default;
-};
-
-struct ProjectionKeyHash {
-  size_t operator()(const ProjectionKey& key) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (ValueId v : key.values) {
-      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-/// Projects `tuple` onto `attrs` (in increasing attribute order).
-ProjectionKey ProjectTuple(const Tuple& tuple, AttrSet attrs);
 
 }  // namespace fdrepair
 

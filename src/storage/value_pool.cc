@@ -1,8 +1,10 @@
 #include "storage/value_pool.h"
 
+#include <mutex>
+
 namespace fdrepair {
 
-ValueId ValuePool::Intern(const std::string& text) {
+ValueId ValuePool::InternLocked(const std::string& text) {
   auto it = index_.find(text);
   if (it != index_.end()) return it->second;
   ValueId id = static_cast<ValueId>(texts_.size());
@@ -12,7 +14,13 @@ ValueId ValuePool::Intern(const std::string& text) {
   return id;
 }
 
+ValueId ValuePool::Intern(const std::string& text) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InternLocked(text);
+}
+
 StatusOr<ValueId> ValuePool::Lookup(const std::string& text) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(text);
   if (it == index_.end()) {
     return Status::NotFound("value '" + text + "' not in pool");
@@ -21,24 +29,32 @@ StatusOr<ValueId> ValuePool::Lookup(const std::string& text) const {
 }
 
 ValueId ValuePool::FreshValue() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string name;
   do {
     name = "⊥" + std::to_string(fresh_counter_++);
   } while (index_.find(name) != index_.end());
-  ValueId id = Intern(name);
+  ValueId id = InternLocked(name);
   fresh_[id] = true;
   return id;
 }
 
 bool ValuePool::IsFresh(ValueId value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   FDR_CHECK(value >= 0 && value < static_cast<ValueId>(fresh_.size()));
   return fresh_[value];
 }
 
 const std::string& ValuePool::Text(ValueId value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   FDR_CHECK_MSG(value >= 0 && value < static_cast<ValueId>(texts_.size()),
                 "value id " << value << " out of range");
   return texts_[value];
+}
+
+int64_t ValuePool::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(texts_.size());
 }
 
 }  // namespace fdrepair

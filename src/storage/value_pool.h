@@ -6,11 +6,21 @@
 // constants* — values guaranteed different from every value seen so far —
 // which the U-repair constructions rely on (Proposition 4.4 updates lhs-cover
 // cells "to a fresh constant from our infinite domain Val").
+//
+// Thread safety: the pool is internally synchronized with a shared_mutex —
+// any number of concurrent readers (Lookup/Text/IsFresh/size), and writers
+// (Intern/FreshValue) exclusive against both. This is what lets the repair
+// engine's blocks share one parent table, and derived repairs share one
+// dictionary, across worker threads without copies. References returned by
+// Text() stay valid for the pool's lifetime even across concurrent
+// interning (values live in a deque, which never relocates elements).
 
 #ifndef FDREPAIR_STORAGE_VALUE_POOL_H_
 #define FDREPAIR_STORAGE_VALUE_POOL_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +37,9 @@ class ValuePool {
  public:
   ValuePool() = default;
 
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
   /// Returns the id of `text`, interning it on first sight.
   ValueId Intern(const std::string& text);
 
@@ -42,15 +55,22 @@ class ValuePool {
   /// repairs only introduce fresh constants where the constructions say so.
   bool IsFresh(ValueId value) const;
 
-  /// The text of an id; requires a valid id from this pool.
+  /// The text of an id; requires a valid id from this pool. The reference
+  /// is stable for the pool's lifetime.
   const std::string& Text(ValueId value) const;
 
   /// Number of distinct values (interned + fresh).
-  int64_t size() const { return static_cast<int64_t>(texts_.size()); }
+  int64_t size() const;
 
  private:
+  /// Intern with mu_ already held exclusively.
+  ValueId InternLocked(const std::string& text);
+
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, ValueId> index_;
-  std::vector<std::string> texts_;
+  /// deque, not vector: growth must not relocate strings that concurrent
+  /// readers hold references into.
+  std::deque<std::string> texts_;
   std::vector<bool> fresh_;
   int64_t fresh_counter_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "workloads/generators.h"
 
+#include <algorithm>
+
 namespace fdrepair {
 namespace {
 
@@ -63,6 +65,16 @@ Table PlantedDirtyTable(const Schema& schema, const FdSet& fds,
     table.SetValue(row, attr, table.Intern(entity_value(attr, entity)));
   }
   return table;
+}
+
+Table ScalingFamilyTable(const ParsedFdSet& parsed, int n, uint64_t seed,
+                         int domain_divisor) {
+  Rng rng(seed);
+  RandomTableOptions options;
+  options.num_tuples = n;
+  options.domain_size = std::max(4, n / domain_divisor);
+  options.heavy_fraction = 0.3;
+  return RandomTable(parsed.schema, options, &rng);
 }
 
 }  // namespace fdrepair

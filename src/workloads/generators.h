@@ -4,6 +4,7 @@
 #ifndef FDREPAIR_WORKLOADS_GENERATORS_H_
 #define FDREPAIR_WORKLOADS_GENERATORS_H_
 
+#include "catalog/fd_parser.h"
 #include "catalog/fdset.h"
 #include "common/random.h"
 #include "storage/table.h"
@@ -44,6 +45,14 @@ struct PlantedTableOptions {
 /// Mirrors the paper's cleaning motivation: mostly-clean data plus noise.
 Table PlantedDirtyTable(const Schema& schema, const FdSet& fds,
                         const PlantedTableOptions& options, Rng* rng);
+
+/// The Theorem 3.2 scaling-family instance shared by the OptSRepair and
+/// engine benches and the engine tests: n uniform tuples over the family's
+/// schema with domain max(4, n / domain_divisor) and 30% heavy weights.
+/// One definition on purpose — bench/baselines.json numbers are only
+/// comparable across binaries because they all draw from this generator.
+Table ScalingFamilyTable(const ParsedFdSet& parsed, int n, uint64_t seed,
+                         int domain_divisor = 16);
 
 }  // namespace fdrepair
 
