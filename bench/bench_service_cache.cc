@@ -1,0 +1,178 @@
+// E-service: the serving layer's cache economics.
+//
+// Cold latency (every request misses and runs the planner) vs warm latency
+// (every request replays a cached recipe), plus a hit-ratio sweep that
+// replays request streams with a configurable repeat probability — the
+// serving shape the ROADMAP's "heavy traffic" target implies. Tracked
+// metrics: cold/warm us-per-request and the warm-over-cold speedup at a
+// 90% repeat ratio (the acceptance floor is 5x).
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "report_util.h"
+#include "service/repair_service.h"
+#include "workloads/example_fdsets.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace fdrepair;
+using benchreport::JsonReport;
+using benchreport::Num;
+using benchreport::ReportTable;
+using Clock = std::chrono::steady_clock;
+
+int TupleCount() {
+  return static_cast<int>(benchreport::SmokeCap(8192, 1024));
+}
+
+struct Population {
+  ParsedFdSet parsed;
+  std::vector<Table> tables;
+};
+
+/// `count` distinct office-chain instances (distinct seeds => distinct
+/// content hashes).
+Population MakePopulation(int count, int tuples) {
+  Population population{OfficeFds(), {}};
+  population.tables.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    population.tables.push_back(
+        ScalingFamilyTable(population.parsed, tuples, 1000 + i));
+  }
+  return population;
+}
+
+double ServeAll(RepairService* service, const Population& population,
+                const std::vector<int>& order, bool bypass_cache) {
+  Clock::time_point start = Clock::now();
+  for (int index : order) {
+    RepairRequest request;
+    request.mode = RepairMode::kSubset;
+    request.fds = population.parsed.fds;
+    request.table = &population.tables[index];
+    request.bypass_cache = bypass_cache;
+    auto response = service->Serve(request);
+    if (!response.ok()) {
+      std::cerr << "serve failed: " << response.status() << "\n";
+      std::exit(1);
+    }
+  }
+  std::chrono::duration<double, std::micro> elapsed = Clock::now() - start;
+  return elapsed.count() / static_cast<double>(order.size());
+}
+
+void ReportColdVsWarm() {
+  const int tuples = TupleCount();
+  const int distinct = 8;
+  Population population = MakePopulation(distinct, tuples);
+  std::vector<int> order;
+  for (int i = 0; i < distinct; ++i) order.push_back(i);
+
+  RepairService service;
+  double cold_us =
+      ServeAll(&service, population, order, /*bypass_cache=*/false);
+  double warm_us =
+      ServeAll(&service, population, order, /*bypass_cache=*/false);
+  double speedup = warm_us > 0 ? cold_us / warm_us : 0;
+
+  ReportTable table({"phase", "requests", "us/request"});
+  table.AddRow({"cold (all miss)", std::to_string(distinct), Num(cold_us)});
+  table.AddRow({"warm (all hit)", std::to_string(distinct), Num(warm_us)});
+  table.Print();
+  std::cout << "  warm-over-cold speedup: " << Num(speedup) << "x\n";
+
+  JsonReport::Get().Add("service.cold_us_per_request", cold_us, "us");
+  JsonReport::Get().Add("service.warm_us_per_request", warm_us, "us");
+  JsonReport::Get().Add("service.warm_speedup", speedup, "x");
+}
+
+void ReportHitRatioSweep() {
+  const int tuples = TupleCount();
+  const int requests = 200;
+  // Worst case (repeat 0) touches `requests` distinct tables.
+  Population population = MakePopulation(requests, tuples);
+
+  ReportTable table({"repeat ratio", "requests", "distinct", "us/request",
+                     "hit ratio", "vs cold"});
+  for (double repeat : {0.0, 0.5, 0.9, 0.99}) {
+    // With probability `repeat` a request re-sends an already-seen
+    // instance; otherwise it introduces a fresh one.
+    Rng rng(static_cast<uint64_t>(repeat * 1000) + 7);
+    std::vector<int> stream;
+    std::vector<int> seen;
+    stream.reserve(requests);
+    int next_new = 0;
+    for (int r = 0; r < requests; ++r) {
+      if (!seen.empty() && rng.UniformDouble() < repeat) {
+        stream.push_back(seen[rng.UniformIndex(seen.size())]);
+      } else {
+        stream.push_back(next_new);
+        seen.push_back(next_new);
+        ++next_new;
+      }
+    }
+    // Cold reference: the identical stream with the cache bypassed.
+    RepairService cold_service;
+    double cold_us =
+        ServeAll(&cold_service, population, stream, /*bypass_cache=*/true);
+    RepairService service;
+    double us = ServeAll(&service, population, stream, /*bypass_cache=*/false);
+    RepairServiceStats stats = service.stats();
+    double hit_ratio = static_cast<double>(stats.hits) /
+                       static_cast<double>(stats.hits + stats.misses);
+    double speedup = us > 0 ? cold_us / us : 0;
+    table.AddRow({Num(repeat), std::to_string(requests),
+                  std::to_string(next_new), Num(us), Num(hit_ratio),
+                  Num(speedup) + "x"});
+    if (repeat == 0.9) {
+      JsonReport::Get().Add("service.speedup_repeat90", speedup, "x");
+      JsonReport::Get().Add("service.hit_ratio_repeat90", hit_ratio, "");
+    }
+  }
+  table.Print();
+}
+
+void Report() {
+  benchreport::Banner("service", "RepairService cache: cold vs warm");
+  ReportColdVsWarm();
+  std::cout << "\n";
+  ReportHitRatioSweep();
+}
+
+void BM_ServeCold(benchmark::State& state) {
+  Population population = MakePopulation(1, TupleCount());
+  RepairService service;
+  RepairRequest request;
+  request.mode = RepairMode::kSubset;
+  request.fds = population.parsed.fds;
+  request.table = &population.tables[0];
+  request.bypass_cache = true;
+  for (auto _ : state) {
+    auto response = service.Serve(request);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_ServeCold)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeWarm(benchmark::State& state) {
+  Population population = MakePopulation(1, TupleCount());
+  RepairService service;
+  RepairRequest request;
+  request.mode = RepairMode::kSubset;
+  request.fds = population.parsed.fds;
+  request.table = &population.tables[0];
+  (void)service.Serve(request);  // prime the cache
+  for (auto _ : state) {
+    auto response = service.Serve(request);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_ServeWarm)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FDR_BENCH_MAIN(Report)

@@ -14,6 +14,16 @@ CPUs — e.g. the engine's 4-thread speedup targets only mean something on
 place from the current run (keeping directions/thresholds), which is how
 the checked-in numbers get updated after an intentional perf change.
 
+Zero and near-zero baselines get special handling: a relative threshold
+on a ~0 baseline is either vacuous (direction "higher": every value
+passes) or unsatisfiable (direction "lower": any noise fails), so such
+entries must declare an "abs_tolerance" and are compared absolutely
+(baseline +/- abs_tolerance); a near-zero baseline without one is
+reported as a configuration failure instead of passing silently.
+
+`--self-test` runs the gate's own unit checks (no benchmark files
+needed); CI invokes it before trusting the gate's verdict.
+
 Stdlib only: no third-party dependencies.
 """
 
@@ -21,6 +31,11 @@ import argparse
 import json
 import os
 import sys
+import tempfile
+
+# Baselines closer to zero than this are meaningless for *relative*
+# comparison; they must carry an explicit "abs_tolerance".
+NEAR_ZERO = 1e-9
 
 
 def load_metrics(path):
@@ -29,21 +44,13 @@ def load_metrics(path):
     return report, {m["name"]: m["value"] for m in report.get("metrics", [])}
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baselines",
-                        default=os.path.join(os.path.dirname(__file__),
-                                             "baselines.json"))
-    parser.add_argument("--dir", default="build/bench",
-                        help="directory holding the BENCH_*.json outputs")
-    parser.add_argument("--write-baselines", action="store_true",
-                        help="rewrite baseline values from the current run")
-    args = parser.parse_args()
+def evaluate(config, reports_dir, write_baselines=False):
+    """Checks every tracked entry; returns (rows, failures).
 
-    with open(args.baselines) as f:
-        config = json.load(f)
+    rows: (name, baseline, value, verdict) tuples for printing.
+    Mutates config entries in place when write_baselines is set.
+    """
     default_threshold = config.get("default_threshold", 0.25)
-
     reports = {}
     failures = 0
     rows = []
@@ -53,8 +60,9 @@ def main():
         threshold = entry.get("threshold", default_threshold)
         direction = entry.get("direction", "lower")
         baseline = entry["baseline"]
+        abs_tolerance = entry.get("abs_tolerance")
 
-        path = os.path.join(args.dir, fname)
+        path = os.path.join(reports_dir, fname)
         if fname not in reports:
             if not os.path.exists(path):
                 rows.append((name, baseline, None, "MISSING FILE " + fname))
@@ -84,7 +92,7 @@ def main():
             continue
 
         value = metrics[name]
-        if args.write_baselines:
+        if write_baselines:
             # Rebase WITH headroom, never with the raw measurement: shared
             # CI runners are slower and noisier than whatever quiet machine
             # the refresh ran on. 'lower' timings get 2x slack, 'higher'
@@ -94,7 +102,24 @@ def main():
             entry["baseline"] = round(value * margin, 6)
             rows.append((name, entry["baseline"], value, "REBASED"))
             continue
-        if direction == "lower":
+        if abs(baseline) < NEAR_ZERO:
+            # Relative comparison against ~0 is vacuous or unsatisfiable;
+            # require an absolute tolerance.
+            if abs_tolerance is None:
+                rows.append((name, baseline, value,
+                             "ZERO BASELINE (add abs_tolerance)"))
+                failures += 1
+                continue
+            if direction == "lower":
+                limit = baseline + abs_tolerance
+                ok = value <= limit
+            else:
+                limit = baseline - abs_tolerance
+                ok = value >= limit
+            verdict = "OK (abs)" if ok else (
+                "REGRESSED (%s %.4g)" %
+                (">" if direction == "lower" else "<", limit))
+        elif direction == "lower":
             limit = baseline * (1 + threshold)
             ok = value <= limit
             verdict = "OK" if ok else "REGRESSED (> %.4g)" % limit
@@ -105,7 +130,10 @@ def main():
         if not ok:
             failures += 1
         rows.append((name, baseline, value, verdict))
+    return rows, failures
 
+
+def print_rows(rows):
     width = max(len(r[0]) for r in rows) if rows else 10
     print("%-*s  %12s  %12s  %s" % (width, "metric", "baseline", "value",
                                     "verdict"))
@@ -113,6 +141,111 @@ def main():
         value_s = "%.4g" % value if value is not None else "-"
         print("%-*s  %12.4g  %12s  %s" % (width, name, baseline, value_s,
                                           verdict))
+
+
+def self_test():
+    """Unit checks for the gate itself, exercised on synthetic reports."""
+
+    def run(entries, metrics, smoke=True, cpus=8):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "BENCH_t.json"), "w") as f:
+                json.dump({"experiment": "t", "cpus": cpus, "smoke": smoke,
+                           "metrics": [{"name": k, "value": v, "unit": ""}
+                                       for k, v in metrics.items()]}, f)
+            config = {"default_threshold": 0.25, "tracked": entries}
+            rows, failures = evaluate(config, tmp)
+            return {name: verdict for name, _, _, verdict in rows}, failures
+
+    def entry(name, baseline, **kwargs):
+        out = {"file": "BENCH_t.json", "name": name, "baseline": baseline}
+        out.update(kwargs)
+        return out
+
+    checks = 0
+
+    # Within-threshold values pass; past-threshold values fail, both ways.
+    verdicts, failures = run(
+        [entry("a", 10.0), entry("b", 10.0, direction="higher")],
+        {"a": 12.0, "b": 8.0})
+    assert failures == 0, verdicts
+    verdicts, failures = run(
+        [entry("a", 10.0), entry("b", 10.0, direction="higher")],
+        {"a": 13.0, "b": 7.0})
+    assert failures == 2 and "REGRESSED" in verdicts["a"], verdicts
+    checks += 1
+
+    # A zero baseline must not pass vacuously (direction "higher" would
+    # otherwise accept any value) nor divide/fail on noise — without an
+    # abs_tolerance it is flagged as misconfigured.
+    verdicts, failures = run(
+        [entry("z", 0.0, direction="higher")], {"z": 0.0})
+    assert failures == 1 and "ZERO BASELINE" in verdicts["z"], verdicts
+    checks += 1
+
+    # With abs_tolerance, zero baselines compare absolutely.
+    verdicts, failures = run(
+        [entry("z", 0.0, direction="lower", abs_tolerance=0.5)], {"z": 0.4})
+    assert failures == 0, verdicts
+    verdicts, failures = run(
+        [entry("z", 0.0, direction="lower", abs_tolerance=0.5)], {"z": 0.6})
+    assert failures == 1, verdicts
+    verdicts, failures = run(
+        [entry("z", 0.0, direction="higher", abs_tolerance=0.5)],
+        {"z": -0.6})
+    assert failures == 1, verdicts
+    checks += 1
+
+    # Non-smoke reports are rejected; missing metrics fail; min_cpus skips.
+    verdicts, failures = run([entry("a", 10.0)], {"a": 10.0}, smoke=False)
+    assert failures == 1 and "NON-SMOKE" in verdicts["a"], verdicts
+    verdicts, failures = run([entry("missing", 10.0)], {"a": 10.0})
+    assert failures == 1 and "MISSING METRIC" in verdicts["missing"], verdicts
+    verdicts, failures = run(
+        [entry("a", 10.0, min_cpus=64)], {"a": 99.0}, cpus=2)
+    assert failures == 0 and "SKIP" in verdicts["a"], verdicts
+    checks += 1
+
+    # Rebase applies headroom (2x for lower, 0.8x for higher).
+    with tempfile.TemporaryDirectory() as tmp:
+        with open(os.path.join(tmp, "BENCH_t.json"), "w") as f:
+            json.dump({"experiment": "t", "cpus": 8, "smoke": True,
+                       "metrics": [{"name": "a", "value": 3.0, "unit": ""},
+                                   {"name": "b", "value": 10.0, "unit": ""}]},
+                      f)
+        config = {"tracked": [entry("a", 1.0),
+                              entry("b", 1.0, direction="higher")]}
+        rows, failures = evaluate(config, tmp, write_baselines=True)
+        assert failures == 0, rows
+        assert config["tracked"][0]["baseline"] == 6.0, config
+        assert config["tracked"][1]["baseline"] == 8.0, config
+    checks += 1
+
+    print("self-test OK (%d check groups)" % checks)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "baselines.json"))
+    parser.add_argument("--dir", default="build/bench",
+                        help="directory holding the BENCH_*.json outputs")
+    parser.add_argument("--write-baselines", action="store_true",
+                        help="rewrite baseline values from the current run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    with open(args.baselines) as f:
+        config = json.load(f)
+
+    rows, failures = evaluate(config, args.dir,
+                              write_baselines=args.write_baselines)
+    print_rows(rows)
 
     if args.write_baselines:
         if failures:

@@ -73,6 +73,49 @@ FdSet FdSet::WithoutTrivial() const {
   return FdSet(std::move(out));  // already sorted/unique
 }
 
+FdSet FdSet::CanonicalCover() const {
+  FdSet cover = WithoutTrivial();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // 1. Eliminate extraneous lhs attributes: b ∈ X is extraneous in X → A
+    //    iff A ∈ cl∆(X ∖ b) under the *current* cover (standard definition;
+    //    the FD being reduced stays in the set during the closure).
+    std::vector<Fd> reduced;
+    reduced.reserve(cover.fds_.size());
+    for (const Fd& fd : cover.fds_) {
+      AttrSet lhs = fd.lhs;
+      ForEachAttr(fd.lhs, [&](AttrId b) {
+        AttrSet without = lhs.Without(b);
+        if (without != lhs && cover.Closure(without).Contains(fd.rhs)) {
+          lhs = without;
+          changed = true;
+        }
+      });
+      Fd min_fd(lhs, fd.rhs);
+      if (!min_fd.IsTrivial()) reduced.push_back(min_fd);
+    }
+    cover = FromFds(std::move(reduced));
+    // 2. Eliminate redundant FDs: drop fd when the rest still entails it.
+    //    Scanned in canonical order so the survivors are deterministic.
+    for (size_t i = 0; i < cover.fds_.size();) {
+      std::vector<Fd> rest;
+      rest.reserve(cover.fds_.size() - 1);
+      for (size_t j = 0; j < cover.fds_.size(); ++j) {
+        if (j != i) rest.push_back(cover.fds_[j]);
+      }
+      FdSet remainder(std::move(rest));
+      if (remainder.Entails(cover.fds_[i])) {
+        cover = std::move(remainder);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return cover;
+}
+
 AttrSet FdSet::ConsensusAttrs() const { return Closure(AttrSet()); }
 
 std::optional<AttrId> FdSet::FindCommonLhsAttr() const {

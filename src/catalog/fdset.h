@@ -54,6 +54,16 @@ class FdSet {
   /// Same closure, i.e. each set entails every FD of the other (§2.2).
   bool EquivalentTo(const FdSet& other) const;
 
+  /// The canonical (minimal) cover of ∆: trivial FDs dropped, extraneous
+  /// lhs attributes eliminated, redundant FDs removed — iterated to a
+  /// fixpoint with a fixed elimination order (FDs in canonical sorted order,
+  /// lhs attributes in increasing id order). Always equivalent to ∆.
+  /// Deterministic and independent of how ∆ was phrased on input (ordering,
+  /// duplicates, inflated lhs's, implied FDs all normalize away); like any
+  /// minimal cover it is canonical up to the fixed elimination order. The
+  /// serving layer keys its repair cache on this form.
+  FdSet CanonicalCover() const;
+
   /// True iff ∆ contains no nontrivial FD (§2.2); the successful base case
   /// of OptSRepair.
   bool IsTrivial() const;

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -37,6 +37,9 @@ enum class StatusCode {
   /// A per-job deadline expired before the computation finished (the
   /// RepairEngine's cooperative cancellation; partial work is discarded).
   kDeadlineExceeded = 8,
+  /// The server is over capacity right now; the request was rejected at
+  /// admission instead of queueing unboundedly. Retrying later may succeed.
+  kUnavailable = 9,
 };
 
 /// Returns the canonical lowercase name of a code ("ok", "invalid-argument"...).
@@ -80,6 +83,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

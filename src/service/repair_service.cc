@@ -1,0 +1,369 @@
+#include "service/repair_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/table_hash.h"
+
+namespace fdrepair {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* RepairModeName(RepairMode mode) {
+  switch (mode) {
+    case RepairMode::kSubset:
+      return "subset";
+    case RepairMode::kUpdate:
+      return "update";
+  }
+  return "unknown";
+}
+
+/// The canonical request key: mode, canonical cover (as lhs-bitmask/rhs
+/// pairs — attribute names are bound to those positions by the table hash)
+/// and the full table content.
+uint64_t RequestKey(RepairMode mode, const FdSet& cover, const Table& table) {
+  StableHasher hasher;
+  hasher.MixUint64(static_cast<uint64_t>(mode));
+  hasher.MixUint64(static_cast<uint64_t>(cover.size()));
+  for (const Fd& fd : cover.fds()) {
+    hasher.MixUint64(fd.lhs.bits());
+    hasher.MixInt64(fd.rhs);
+  }
+  hasher.MixUint64(TableContentHash(table));
+  return hasher.digest();
+}
+
+std::optional<Clock::time_point> AbsoluteDeadline(
+    const RepairRequest& request, Clock::time_point admitted) {
+  if (!request.deadline) return std::nullopt;
+  return admitted + *request.deadline;
+}
+
+}  // namespace
+
+const char* RepairModeToString(RepairMode mode) { return RepairModeName(mode); }
+
+RepairService::RepairService(const RepairServiceOptions& options)
+    : options_(options), engine_(options.engine) {
+  max_inflight_ = options_.max_inflight > 0 ? options_.max_inflight
+                                            : engine_.threads();
+}
+
+RepairService::~RepairService() = default;
+
+RepairServiceStats RepairService::stats() const {
+  RepairServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    snapshot = stats_;
+  }
+  // Taken separately (never while holding stats_mu_): Serve acquires
+  // cache_mu_ before stats_mu_, so nesting them here would invert the order.
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    snapshot.entries = lru_.size();
+  }
+  {
+    std::lock_guard<std::mutex> admission_lock(admission_mu_);
+    snapshot.inflight = static_cast<uint64_t>(inflight_);
+    snapshot.queued = static_cast<uint64_t>(queued_);
+  }
+  return snapshot;
+}
+
+void RepairService::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (uint64_t key : lru_) entries_.erase(key);
+  lru_.clear();
+}
+
+Status RepairService::AcquireExecSlot(
+    const std::optional<Clock::time_point>& deadline) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    return Status::OK();
+  }
+  if (queued_ >= options_.max_queue) {
+    return Status::Unavailable(
+        "repair service over capacity: " + std::to_string(inflight_) +
+        " executing and " + std::to_string(queued_) + " queued");
+  }
+  ++queued_;
+  while (inflight_ >= max_inflight_) {
+    if (deadline) {
+      if (admission_cv_.wait_until(lock, *deadline) ==
+              std::cv_status::timeout &&
+          inflight_ >= max_inflight_) {
+        --queued_;
+        return Status::DeadlineExceeded(
+            "deadline expired while queued for an execution slot");
+      }
+    } else {
+      admission_cv_.wait(lock);
+    }
+  }
+  --queued_;
+  ++inflight_;
+  return Status::OK();
+}
+
+void RepairService::ReleaseExecSlot() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --inflight_;
+  }
+  admission_cv_.notify_one();
+}
+
+StatusOr<RepairService::CachedRepair> RepairService::Execute(
+    const RepairRequest& request, const FdSet& cover,
+    const std::optional<Clock::time_point>& deadline) {
+  const Table& table = *request.table;
+  CachedRepair cached;
+  cached.mode = request.mode;
+  if (deadline && Clock::now() >= *deadline) {
+    return Status::DeadlineExceeded("deadline expired before execution");
+  }
+  if (request.mode == RepairMode::kSubset) {
+    StatusOr<SRepairResult> result = Status::Internal("never ran");
+    if (request.threads == 1) {
+      // Sequential hint: run on the calling thread, no block fan-out. The
+      // engine guarantees bit-identical results either way.
+      SRepairOptions options = options_.srepair;
+      options.exec.pool = nullptr;
+      if (deadline) options.exec.deadline = *deadline;
+      result = ComputeSRepair(cover, table, options);
+    } else {
+      RepairJob job;
+      job.fds = cover;
+      job.table = &table;
+      job.options = options_.srepair;
+      if (deadline) {
+        job.deadline = std::chrono::duration_cast<std::chrono::milliseconds>(
+            *deadline - Clock::now());
+      }
+      result = engine_.Repair(job);
+    }
+    if (!result.ok()) return result.status();
+    cached.kept_ids.reserve(result->repair.num_tuples());
+    for (int row = 0; row < result->repair.num_tuples(); ++row) {
+      cached.kept_ids.push_back(result->repair.id(row));
+    }
+    cached.distance = result->distance;
+    cached.optimal = result->optimal;
+    cached.ratio_bound = result->ratio_bound;
+    cached.route = SRepairAlgorithmToString(result->algorithm);
+    return cached;
+  }
+  // Update repairs: the U-planner has no cooperative mid-search
+  // cancellation, so the deadline is admission-only here.
+  FDR_ASSIGN_OR_RETURN(URepairResult result,
+                       ComputeURepair(cover, table, options_.urepair));
+  for (int row = 0; row < result.update.num_tuples(); ++row) {
+    TupleId id = result.update.id(row);
+    FDR_ASSIGN_OR_RETURN(int src_row, table.RowOf(id));
+    for (AttrId a = 0; a < table.schema().arity(); ++a) {
+      const std::string& text = result.update.ValueText(row, a);
+      if (text != table.ValueText(src_row, a)) {
+        cached.edits.push_back(CachedRepair::CellEdit{id, a, text});
+      }
+    }
+  }
+  cached.distance = result.distance;
+  cached.optimal = result.optimal;
+  cached.ratio_bound = result.ratio_bound;
+  std::string routes;
+  for (const URepairComponentPlan& component : result.plan.components) {
+    if (!routes.empty()) routes += ",";
+    routes += URepairRouteToString(component.route);
+  }
+  cached.route = "urepair[" + (routes.empty() ? "noop" : routes) + "]";
+  return cached;
+}
+
+StatusOr<RepairResponse> RepairService::Replay(const CachedRepair& cached,
+                                               const Table& table,
+                                               bool cache_hit,
+                                               uint64_t key) const {
+  if (cached.mode == RepairMode::kSubset) {
+    std::vector<int> rows;
+    rows.reserve(cached.kept_ids.size());
+    for (TupleId id : cached.kept_ids) {
+      FDR_ASSIGN_OR_RETURN(int row, table.RowOf(id));
+      rows.push_back(row);
+    }
+    RepairResponse response{table.SubsetByRows(rows), cached.distance,
+                            cached.optimal,           cached.ratio_bound,
+                            cached.route,             cache_hit,
+                            key};
+    return response;
+  }
+  Table update = table.Clone();
+  for (const CachedRepair::CellEdit& edit : cached.edits) {
+    FDR_ASSIGN_OR_RETURN(int row, table.RowOf(edit.id));
+    update.SetValue(row, edit.attr, update.Intern(edit.text));
+  }
+  RepairResponse response{std::move(update), cached.distance,
+                          cached.optimal,    cached.ratio_bound,
+                          cached.route,      cache_hit,
+                          key};
+  return response;
+}
+
+void RepairService::Publish(uint64_t key, const std::shared_ptr<Entry>& entry,
+                            Status status, CachedRepair result) {
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    entry->status = std::move(status);
+    entry->result = std::move(result);
+    entry->ready = true;
+    auto it = entries_.find(key);
+    bool mapped = it != entries_.end() && it->second.entry == entry;
+    if (!entry->status.ok()) {
+      // Failures are not cached: erase so a later request retries, while
+      // current followers read the failure from their shared_ptr.
+      if (mapped) entries_.erase(it);
+    } else if (mapped) {
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      it->second.listed = true;
+      while (lru_.size() > options_.cache_capacity) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.evictions += evicted;
+  }
+  cache_cv_.notify_all();
+}
+
+StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
+  const Clock::time_point admitted = Clock::now();
+  if (request.table == nullptr) {
+    return Status::InvalidArgument("RepairRequest.table is null");
+  }
+  const std::optional<Clock::time_point> deadline =
+      AbsoluteDeadline(request, admitted);
+  const FdSet cover = request.fds.CanonicalCover();
+  const uint64_t key = RequestKey(request.mode, cover, *request.table);
+
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.lookups;
+  }
+
+  // Fail a request with the right code and keep the rejection counters
+  // truthful for every exit path.
+  auto fail = [&](Status status) -> Status {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.rejected_deadline;
+    } else if (status.code() == StatusCode::kUnavailable) {
+      ++stats_.rejected_unavailable;
+    }
+    return status;
+  };
+
+  std::shared_ptr<Entry> entry;
+  bool leader = false;
+  while (!request.bypass_cache) {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entry = std::make_shared<Entry>();
+      entries_.emplace(key, Slot{entry, lru_.end(), false});
+      leader = true;
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.misses;
+      break;
+    }
+    entry = it->second.entry;
+    if (entry->ready) {
+      // Mapped ready entries are always successes (failures are erased at
+      // publish time).
+      if (it->second.listed && it->second.lru_pos != lru_.begin()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        it->second.lru_pos = lru_.begin();
+      }
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.hits;
+      break;
+    }
+    // Single-flight: another thread is computing this exact request; wait
+    // for its answer instead of recomputing.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.single_flight_waits;
+    }
+    while (!entry->ready) {
+      if (deadline) {
+        if (cache_cv_.wait_until(lock, *deadline) ==
+                std::cv_status::timeout &&
+            !entry->ready) {
+          return fail(Status::DeadlineExceeded(
+              "deadline expired waiting on an in-flight computation of "
+              "the same request"));
+        }
+      } else {
+        cache_cv_.wait(lock);
+      }
+    }
+    if (entry->status.ok()) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.hits;
+      break;
+    }
+    // The leader failed. Deterministic failures (bad request, planner
+    // precondition) propagate — re-running would reproduce them. But
+    // kDeadlineExceeded/kUnavailable reflect the *leader's* deadline and
+    // the queue at *its* admission; this follower's constraints may be
+    // laxer, so retry the lookup — the failed entry was erased, and the
+    // retry becomes the new leader (bounded: a leader returns its own
+    // result directly).
+    if (entry->status.code() != StatusCode::kDeadlineExceeded &&
+        entry->status.code() != StatusCode::kUnavailable) {
+      return fail(entry->status);
+    }
+    entry.reset();
+  }
+
+  if (!leader) {
+    if (entry != nullptr) {
+      // Served from cache (ready at lookup, or single-flight follower).
+      return Replay(entry->result, *request.table, /*cache_hit=*/true, key);
+    }
+    // bypass_cache: execute without touching the cache.
+    Status slot = AcquireExecSlot(deadline);
+    if (!slot.ok()) return fail(std::move(slot));
+    StatusOr<CachedRepair> computed = Execute(request, cover, deadline);
+    ReleaseExecSlot();
+    if (!computed.ok()) return fail(computed.status());
+    return Replay(*computed, *request.table, /*cache_hit=*/false, key);
+  }
+
+  // Leader: admission control, then plan & execute, then publish.
+  Status slot = AcquireExecSlot(deadline);
+  if (!slot.ok()) {
+    Publish(key, entry, slot, CachedRepair{});
+    return fail(std::move(slot));
+  }
+  StatusOr<CachedRepair> computed = Execute(request, cover, deadline);
+  ReleaseExecSlot();
+  if (!computed.ok()) {
+    Publish(key, entry, computed.status(), CachedRepair{});
+    return fail(computed.status());
+  }
+  Publish(key, entry, Status::OK(), *computed);
+  return Replay(entry->result, *request.table, /*cache_hit=*/false, key);
+}
+
+}  // namespace fdrepair

@@ -1,0 +1,233 @@
+// RepairService: the long-lived serving façade over the repair stack.
+//
+// Real repair traffic repeats itself — the same FD sets and the same (or
+// re-sent) tables arrive again and again across tenants and retries. The
+// service turns that repetition into O(1) work:
+//
+//   request ──► canonicalize ∆ (FdSet::CanonicalCover)
+//           ──► key = stable 64-bit hash of (mode, cover, table content)
+//           ──► bounded LRU result cache
+//                 ├─ ready entry      → reconstruct the repair  (hit)
+//                 ├─ entry computing  → wait for it (single-flight dedup)
+//                 └─ miss             → admission control → plan & execute
+//
+// Canonicalization makes the key phrasing-independent: equivalent FD sets
+// (reordered, duplicated, inflated-lhs, implied FDs) and content-identical
+// tables (regardless of which Table/ValuePool object carries them) share one
+// entry. The cache stores *recipes*, not tables — kept tuple ids for subset
+// repairs, cell edits for update repairs — and replays them against the
+// request's own table, so a hit returns a repair bit-identical (ids, value
+// texts, weights) to what the planner would produce, at O(result) cost.
+//
+// Execution always runs on the canonical cover, on hits and misses alike,
+// so the two paths answer from the same deterministic computation.
+//
+// Admission control: concurrent cache-missing requests beyond
+// `max_inflight` wait for a slot; more than `max_queue` waiters are
+// rejected immediately with kUnavailable, and a waiter whose deadline
+// passes is rejected with kDeadlineExceeded — the service never stalls
+// unboundedly. Cache hits and single-flight followers bypass admission
+// entirely (they do no planner work).
+//
+// Thread safety: Serve() may be called from any number of threads.
+
+#ifndef FDREPAIR_SERVICE_REPAIR_SERVICE_H_
+#define FDREPAIR_SERVICE_REPAIR_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/fdset.h"
+#include "common/status.h"
+#include "engine/repair_engine.h"
+#include "storage/table.h"
+#include "urepair/planner.h"
+
+namespace fdrepair {
+
+/// Which repair family the request asks for.
+enum class RepairMode {
+  /// Optimal subset repair (delete tuples; §3 routes via the S-planner).
+  kSubset,
+  /// Optimal update repair (rewrite cells; §4 routes via the U-planner).
+  kUpdate,
+};
+
+const char* RepairModeToString(RepairMode mode);
+
+/// One typed serving request. The table is borrowed and must stay alive
+/// (and unmodified) until Serve returns.
+struct RepairRequest {
+  RepairMode mode = RepairMode::kSubset;
+  FdSet fds;
+  const Table* table = nullptr;
+  /// Time budget from the moment Serve is called; covers queueing, waiting
+  /// on a single-flight leader, and execution. Unset: no limit.
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Thread hint: 0 uses the service's engine as configured; 1 forces this
+  /// request's execution onto the calling thread (no block fan-out — the
+  /// bit-identical sequential baseline). Values > 1 are advisory only and
+  /// currently behave like 0 (the engine's pool is shared and fixed-size).
+  int threads = 0;
+  /// Skip the cache entirely (no lookup, no store, no dedup). Admission
+  /// control still applies. Used by benches to measure cold latency.
+  bool bypass_cache = false;
+};
+
+struct RepairResponse {
+  /// The repaired table, over the request table's schema and pool.
+  Table repair;
+  /// dist_sub / dist_upd to the request table.
+  double distance = 0;
+  /// True iff provably optimal; `ratio_bound` as for the planners.
+  bool optimal = false;
+  double ratio_bound = 1;
+  /// Human-readable route ("OptSRepair", "urepair[consensus-plurality]"...).
+  std::string route;
+  /// True when this response was replayed from the cache (including
+  /// single-flight followers); false when this call ran the planner.
+  bool cache_hit = false;
+  /// The canonical request key (stable across processes; loggable).
+  uint64_t cache_key = 0;
+};
+
+/// Monotonic counters since construction, plus the current entry count.
+struct RepairServiceStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Requests that found another thread computing the same key and waited
+  /// for its result instead of recomputing (they also count as hits once
+  /// served).
+  uint64_t single_flight_waits = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected_deadline = 0;
+  uint64_t rejected_unavailable = 0;
+  /// Ready entries currently cached.
+  uint64_t entries = 0;
+  /// Requests currently executing / waiting for an execution slot.
+  uint64_t inflight = 0;
+  uint64_t queued = 0;
+};
+
+struct RepairServiceOptions {
+  /// Maximum number of ready results kept (LRU eviction beyond this).
+  /// 0 disables caching but keeps single-flight dedup of in-flight work.
+  size_t cache_capacity = 256;
+  /// Cache-missing requests allowed to execute concurrently; 0 resolves to
+  /// the engine's thread count.
+  int max_inflight = 0;
+  /// Cache-missing requests allowed to *wait* for an execution slot beyond
+  /// `max_inflight`; anything past that is rejected with kUnavailable.
+  int max_queue = 64;
+  /// The batch engine serving subset-repair execution.
+  EngineOptions engine;
+  /// Route options passed through to the planners (exec is overwritten).
+  SRepairOptions srepair;
+  URepairOptions urepair;
+};
+
+class RepairService {
+ public:
+  explicit RepairService(const RepairServiceOptions& options = {});
+  ~RepairService();
+
+  RepairService(const RepairService&) = delete;
+  RepairService& operator=(const RepairService&) = delete;
+
+  /// Serves one request: cache lookup, single-flight wait, or plan+execute
+  /// under admission control. Safe to call concurrently.
+  StatusOr<RepairResponse> Serve(const RepairRequest& request);
+
+  /// A point-in-time snapshot of the counters.
+  RepairServiceStats stats() const;
+
+  /// Drops every ready entry (in-flight computations are unaffected).
+  void InvalidateCache();
+
+  int max_inflight() const { return max_inflight_; }
+
+ private:
+  /// The cached recipe: enough to replay a repair against any table with
+  /// the same content hash, without storing the table itself.
+  struct CachedRepair {
+    RepairMode mode = RepairMode::kSubset;
+    /// kSubset: surviving tuple ids, in the repair's row order.
+    std::vector<TupleId> kept_ids;
+    /// kUpdate: cell rewrites (tuple id, attribute, new value text).
+    struct CellEdit {
+      TupleId id;
+      AttrId attr;
+      std::string text;
+    };
+    std::vector<CellEdit> edits;
+    double distance = 0;
+    bool optimal = false;
+    double ratio_bound = 1;
+    std::string route;
+  };
+
+  /// One cache slot; exists from first request until eviction. `ready`
+  /// flips exactly once, under cache_mu_, guarded by cache_cv_.
+  struct Entry {
+    bool ready = false;
+    Status status;  // when ready and not ok(): the leader's failure
+    CachedRepair result;
+  };
+
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    /// Position in lru_; only valid while the entry is ready (listed).
+    std::list<uint64_t>::iterator lru_pos;
+    bool listed = false;
+  };
+
+  Status AcquireExecSlot(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  void ReleaseExecSlot();
+
+  StatusOr<CachedRepair> Execute(
+      const RepairRequest& request, const FdSet& cover,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  StatusOr<RepairResponse> Replay(const CachedRepair& cached,
+                                  const Table& table, bool cache_hit,
+                                  uint64_t key) const;
+
+  /// Marks `entry` ready (ok or failed) and wakes followers; stores ready
+  /// successes into the LRU (evicting beyond capacity) and erases failures
+  /// so later requests retry. Requires the entry to be the one mapped at
+  /// `key` (if still mapped).
+  void Publish(uint64_t key, const std::shared_ptr<Entry>& entry,
+               Status status, CachedRepair result);
+
+  RepairServiceOptions options_;
+  int max_inflight_ = 1;
+  RepairEngine engine_;
+
+  mutable std::mutex cache_mu_;
+  std::condition_variable cache_cv_;
+  std::unordered_map<uint64_t, Slot> entries_;
+  /// Ready keys, most-recently-used first.
+  std::list<uint64_t> lru_;
+
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int inflight_ = 0;
+  int queued_ = 0;
+
+  mutable std::mutex stats_mu_;
+  RepairServiceStats stats_;
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_SERVICE_REPAIR_SERVICE_H_

@@ -1,0 +1,52 @@
+#include "storage/table_hash.h"
+
+#include <cstring>
+
+namespace fdrepair {
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+}  // namespace
+
+void StableHasher::MixUint64(uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    state_ ^= (value >> (8 * byte)) & 0xffu;
+    state_ *= kFnvPrime;
+  }
+}
+
+void StableHasher::MixDouble(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  MixUint64(bits);
+}
+
+void StableHasher::MixString(std::string_view text) {
+  MixUint64(text.size());
+  for (char c : text) {
+    state_ ^= static_cast<unsigned char>(c);
+    state_ *= kFnvPrime;
+  }
+}
+
+uint64_t TableContentHash(const Table& table) {
+  StableHasher hasher;
+  const Schema& schema = table.schema();
+  hasher.MixUint64(static_cast<uint64_t>(schema.arity()));
+  for (AttrId a = 0; a < schema.arity(); ++a) {
+    hasher.MixString(schema.AttributeName(a));
+  }
+  hasher.MixUint64(static_cast<uint64_t>(table.num_tuples()));
+  for (int row = 0; row < table.num_tuples(); ++row) {
+    hasher.MixInt64(table.id(row));
+    hasher.MixDouble(table.weight(row));
+    for (AttrId a = 0; a < schema.arity(); ++a) {
+      hasher.MixString(table.ValueText(row, a));
+    }
+  }
+  return hasher.digest();
+}
+
+}  // namespace fdrepair

@@ -2,8 +2,18 @@
 //
 // Format: first line is the header. Two optional reserved columns are
 // recognized by name: "id" (tuple identifier, integer) and "w" (weight,
-// positive float); all remaining columns become schema attributes in order.
-// Values are unquoted and must not contain the separator.
+// a positive *finite* float — zero, negative, NaN and infinite weights are
+// rejected with InvalidArgument); all remaining columns become schema
+// attributes in order.
+//
+// Quoting follows RFC 4180: a field may be wrapped in double quotes, inside
+// which the separator, CR/LF newlines and doubled quotes ("") are literal
+// data. The writer quotes exactly the fields that need it — those containing
+// the separator, a quote, a newline, or leading/trailing whitespace (which
+// the unquoted reader would strip) — so TableFromCsv(TableToCsv(t))
+// round-trips arbitrary values while plain data stays plain. Unquoted
+// fields are trimmed of surrounding ASCII whitespace; quoted fields are
+// taken verbatim.
 
 #ifndef FDREPAIR_STORAGE_TABLE_IO_H_
 #define FDREPAIR_STORAGE_TABLE_IO_H_
@@ -25,7 +35,8 @@ StatusOr<Table> TableFromCsvFile(const std::string& path,
                                  const std::string& relation_name = "T",
                                  char sep = ',');
 
-/// Serializes a table to CSV (with id and w columns).
+/// Serializes a table to CSV (with id and w columns), quoting fields that
+/// contain the separator, quotes, newlines or surrounding whitespace.
 std::string TableToCsv(const Table& table, char sep = ',');
 
 /// Writes CSV to disk.
