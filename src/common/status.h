@@ -190,6 +190,22 @@ namespace internal {
     }                                                                       \
   } while (0)
 
+/// Debug-only variants, compiled out under NDEBUG. For checks that sit on a
+/// per-row hot path (e.g. view bounds validation, which runs once per block
+/// per recursion level in OptSRepair): the invariant is still exercised by
+/// every debug and sanitizer build, but release builds pay nothing.
+#ifdef NDEBUG
+#define FDR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define FDR_DCHECK_MSG(cond, stream_expr) \
+  do {                                    \
+  } while (0)
+#else
+#define FDR_DCHECK(cond) FDR_CHECK(cond)
+#define FDR_DCHECK_MSG(cond, stream_expr) FDR_CHECK_MSG(cond, stream_expr)
+#endif
+
 /// Propagates an error Status from the current function.
 #define FDR_RETURN_IF_ERROR(expr)                  \
   do {                                             \

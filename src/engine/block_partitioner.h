@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "catalog/attrset.h"
+#include "storage/row_span.h"
 #include "storage/table_view.h"
 
 namespace fdrepair {
@@ -50,6 +51,31 @@ BlockPartition PartitionByAttrs(const TableView& view, AttrSet attrs);
 /// 3), assigning each block its left/right matching endpoints.
 BlockPartition PartitionForMarriage(const TableView& view, AttrSet x1,
                                     AttrSet x2);
+
+// Span-based in-place partitioning — the OptSRepair hot path. Instead of
+// materializing per-block index vectors (as the BlockPartition APIs above
+// do), these permute the caller's shared row-index buffer so each block
+// becomes a contiguous sub-window, and only report block boundaries. Block
+// order (first-appearance of the projection) and within-block row order are
+// identical to the materializing APIs; `scratch` supplies the reusable
+// grouping buffers (one per concurrent caller — see storage/row_span.h).
+
+/// Permutes `span` in place into the σ_{attrs=·} groups; clears and fills
+/// *group_ends with each group's end offset (group g occupies
+/// [g == 0 ? 0 : ends[g-1], ends[g])).
+void PartitionSpanByAttrs(RowSpan span, AttrSet attrs, GroupScratch* scratch,
+                          std::vector<int>* group_ends);
+
+/// Permutes `span` in place into the σ_{X1=a1,X2=a2} marriage blocks
+/// (grouping by X1 ∪ X2) and assigns every block its dense left (π_X1) and
+/// right (π_X2) matching endpoint. Clears and fills *group_ends, *left and
+/// *right (one entry per block); *num_left / *num_right receive the two
+/// side sizes of the bipartite matching.
+void PartitionSpanForMarriage(RowSpan span, AttrSet x1, AttrSet x2,
+                              GroupScratch* scratch,
+                              std::vector<int>* group_ends,
+                              std::vector<int>* left, std::vector<int>* right,
+                              int* num_left, int* num_right);
 
 }  // namespace fdrepair
 

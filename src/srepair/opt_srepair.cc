@@ -9,6 +9,7 @@
 #include "graph/bipartite_matching.h"
 #include "srepair/osr_succeeds.h"
 #include "srepair/simplification.h"
+#include "storage/row_span.h"
 
 namespace fdrepair {
 namespace {
@@ -20,16 +21,106 @@ struct BlockResult {
   Status status;
 };
 
-Status Recurse(const FdSet& fds, const TableView& view,
-               const OptSRepairExec& exec, std::vector<int>* kept,
-               double* kept_weight);
+/// Per-thread scratch arena for the recursion: grouping buffers plus a
+/// freelist of BlockResult vectors, so steady-state recursion performs no
+/// heap allocation beyond amortized capacity growth. thread_local because
+/// pool workers (and the calling thread, which helps via ParallelFor) each
+/// need their own; no scratch state is live across nested calls, so a
+/// thread helping with an unrelated block while blocked in ParallelFor
+/// reuses the same arena safely. Leases always release on the acquiring
+/// thread, into the scratch they came from (each Recurse frame runs
+/// start-to-finish on one thread); neither scratch nor freelists are
+/// thread-safe, so never hand a lease to another thread.
+///
+/// Deliberate trade-off: arenas retain their peak capacity for the
+/// thread's lifetime (that retention IS the allocation win on repeated
+/// requests), so a long-lived server that once repaired a huge table keeps
+/// O(peak rows) ints per worker thread. The freelists themselves stay
+/// short — bounded by the recursion depth ever reached on that thread.
+struct RecursionScratch {
+  GroupScratch groups;
+  std::vector<std::vector<BlockResult>> free_results;
 
-// Solves every block view under ∆ = `fds` into block-local accumulators —
-// sequentially, or on exec.pool when the parent view is large enough to
-// amortize the fan-out. Returns the first failing block's status in block
-// order; on success `results` holds one entry per block. Callers merge in
-// block order, so the reduction (including floating-point weight sums) is
-// the same expression tree for every thread count.
+  /// A result vector with at least `num_blocks` reset entries. The vector
+  /// is never shrunk, so the row buffers of high-index entries keep their
+  /// capacity across rounds; callers must only read the first num_blocks.
+  std::vector<BlockResult> AcquireResults(int num_blocks) {
+    std::vector<BlockResult> results;
+    if (!free_results.empty()) {
+      results = std::move(free_results.back());
+      free_results.pop_back();
+    }
+    if (static_cast<int>(results.size()) < num_blocks) {
+      results.resize(num_blocks);
+    }
+    for (int b = 0; b < num_blocks; ++b) {
+      results[b].rows.clear();
+      results[b].weight = 0;
+      results[b].status = Status::OK();
+    }
+    return results;
+  }
+  void ReleaseResults(std::vector<BlockResult> results) {
+    free_results.push_back(std::move(results));
+  }
+};
+
+RecursionScratch& LocalScratch() {
+  thread_local RecursionScratch scratch;
+  return scratch;
+}
+
+/// RAII arena leases: buffers go back to the freelist on scope exit, so the
+/// recursion arms may return early (including through FDR_RETURN_IF_ERROR)
+/// without leaking buffers out of the arena. Destruction happens on the
+/// thread that acquired, since Recurse runs each node on one thread.
+class ScopedIntBuffer {
+ public:
+  explicit ScopedIntBuffer(GroupScratch* groups)
+      : groups_(groups), buffer_(groups->AcquireIntBuffer()) {}
+  ~ScopedIntBuffer() { groups_->ReleaseIntBuffer(std::move(buffer_)); }
+  ScopedIntBuffer(const ScopedIntBuffer&) = delete;
+  ScopedIntBuffer& operator=(const ScopedIntBuffer&) = delete;
+
+  std::vector<int>& operator*() { return buffer_; }
+  std::vector<int>* operator->() { return &buffer_; }
+
+ private:
+  GroupScratch* groups_;
+  std::vector<int> buffer_;
+};
+
+class ScopedResults {
+ public:
+  ScopedResults(RecursionScratch* scratch, int num_blocks)
+      : scratch_(scratch), results_(scratch->AcquireResults(num_blocks)) {}
+  ~ScopedResults() { scratch_->ReleaseResults(std::move(results_)); }
+  ScopedResults(const ScopedResults&) = delete;
+  ScopedResults& operator=(const ScopedResults&) = delete;
+
+  std::vector<BlockResult>& operator*() { return results_; }
+  BlockResult& operator[](int b) { return results_[b]; }
+
+ private:
+  RecursionScratch* scratch_;
+  std::vector<BlockResult> results_;
+};
+
+/// Everything constant across one OptSRepairRows recursion.
+struct RecursionContext {
+  const SimplificationChain* chain;
+  const OptSRepairExec* exec;
+};
+
+Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
+               std::vector<int>* kept, double* kept_weight);
+
+// Solves every block sub-span at chain depth `depth` into block-local
+// accumulators — sequentially, or on exec.pool when the parent span is
+// large enough to amortize the fan-out. Returns the first failing block's
+// status in block order; on success `results` holds one entry per block.
+// Callers merge in block order, so the reduction (including floating-point
+// weight sums) is the same expression tree for every thread count.
 //
 // The sequential path deliberately buffers per block too (instead of
 // appending straight into the caller's accumulators, as the pre-engine
@@ -38,24 +129,27 @@ Status Recurse(const FdSet& fds, const TableView& view,
 // partial-sums-then-merge shape of the parallel path, and the
 // bit-identical-across-thread-counts guarantee would be lost on weight
 // ties. The cost is one extra append of each kept row per recursion level.
-// `block_view(b)` returns the b-th block's view (no copies).
-template <typename BlockViewFn>
-Status SolveBlocks(const FdSet& fds, int num_blocks,
-                   const BlockViewFn& block_view, const OptSRepairExec& exec,
-                   int parent_tuples, std::vector<BlockResult>* results) {
-  results->resize(num_blocks);
+//
+// Blocks are disjoint sub-windows of one shared row-index buffer: child
+// recursions permute only their own window, so concurrent blocks never
+// touch the same buffer element.
+template <typename BlockSpanFn>
+Status SolveBlocks(const RecursionContext& ctx, int depth, int num_blocks,
+                   const BlockSpanFn& block_span, int parent_tuples,
+                   std::vector<BlockResult>* results) {
   auto solve_one = [&](int b) {
     BlockResult& result = (*results)[b];
     result.status =
-        Recurse(fds, block_view(b), exec, &result.rows, &result.weight);
+        Recurse(ctx, depth, block_span(b), &result.rows, &result.weight);
   };
+  const OptSRepairExec& exec = *ctx.exec;
   const bool parallel = exec.pool != nullptr && exec.pool->num_threads() > 1 &&
                         num_blocks > 1 &&
                         parent_tuples >= exec.parallel_cutoff;
   if (parallel) {
     exec.pool->ParallelFor(num_blocks, solve_one);
-    for (const BlockResult& result : *results) {
-      FDR_RETURN_IF_ERROR(result.status);
+    for (int b = 0; b < num_blocks; ++b) {
+      FDR_RETURN_IF_ERROR((*results)[b].status);
     }
   } else {
     for (int b = 0; b < num_blocks; ++b) {
@@ -66,25 +160,34 @@ Status SolveBlocks(const FdSet& fds, int num_blocks,
   return Status::OK();
 }
 
-// Recursive body of Algorithm 1. Appends the kept dense row positions to
-// `kept` and adds their total weight to `kept_weight`.
-Status Recurse(const FdSet& fds, const TableView& view,
-               const OptSRepairExec& exec, std::vector<int>* kept,
-               double* kept_weight) {
-  if (view.empty()) return Status::OK();
+/// The sub-window of `span` holding block b of a grouping with the given
+/// end offsets.
+RowSpan BlockSpan(RowSpan span, const std::vector<int>& group_ends, int b) {
+  const int begin = b == 0 ? 0 : group_ends[b - 1];
+  return span.Subspan(begin, group_ends[b] - begin);
+}
+
+// Recursive body of Algorithm 1 over the chain step at `depth`. Appends the
+// kept dense row positions to `kept` and adds their total weight to
+// `kept_weight`. May permute `span`'s window (block formation), but blocks
+// and their recursive repairs are independent of row order within a window.
+Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
+               std::vector<int>* kept, double* kept_weight) {
+  if (span.empty()) return Status::OK();
+  const OptSRepairExec& exec = *ctx.exec;
   if (exec.has_deadline() &&
       std::chrono::steady_clock::now() >= exec.deadline) {
     return Status::DeadlineExceeded(
         "OptSRepair deadline expired mid-recursion");
   }
 
-  SimplificationStep step = NextSimplification(fds);
+  const SimplificationStep& step = ctx.chain->at(depth);
   switch (step.kind) {
     case SimplificationKind::kTrivialTermination: {
       // Line 2: ∆ trivial — T is its own optimal S-repair.
-      for (int i = 0; i < view.num_tuples(); ++i) {
-        kept->push_back(view.row(i));
-        *kept_weight += view.weight(i);
+      for (int i = 0; i < span.num_tuples(); ++i) {
+        kept->push_back(span.row(i));
+        *kept_weight += span.weight(i);
       }
       return Status::OK();
     }
@@ -92,32 +195,39 @@ Status Recurse(const FdSet& fds, const TableView& view,
       // Subroutine 1: group by the common lhs attribute and take the union
       // of the groups' optimal S-repairs under ∆ − A. Tuples in different
       // groups disagree on A ∈ lhs of every FD, so the union is consistent.
-      // Plain GroupBy, not PartitionByAttrs: this route never reads the
-      // per-block projection keys, so don't materialize them.
-      std::vector<TableView> blocks = view.GroupBy(step.removed);
-      std::vector<BlockResult> results;
+      RecursionScratch& scratch = LocalScratch();
+      ScopedIntBuffer group_ends(&scratch.groups);
+      PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
+      const int num_blocks = static_cast<int>(group_ends->size());
+      ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
-          step.after, static_cast<int>(blocks.size()),
-          [&](int b) -> const TableView& { return blocks[b]; }, exec,
-          view.num_tuples(), &results));
-      for (BlockResult& result : results) {
-        kept->insert(kept->end(), result.rows.begin(), result.rows.end());
-        *kept_weight += result.weight;
+          ctx, depth + 1, num_blocks,
+          [&](int b) { return BlockSpan(span, *group_ends, b); },
+          span.num_tuples(), &*results));
+      for (int b = 0; b < num_blocks; ++b) {
+        kept->insert(kept->end(), results[b].rows.begin(),
+                     results[b].rows.end());
+        *kept_weight += results[b].weight;
       }
       return Status::OK();
     }
     case SimplificationKind::kConsensus: {
       // Subroutine 2: all surviving tuples must agree on A, so solve each
       // A-group independently and keep only the heaviest repair.
-      std::vector<TableView> blocks = view.GroupBy(step.removed);
-      std::vector<BlockResult> results;
+      RecursionScratch& scratch = LocalScratch();
+      ScopedIntBuffer group_ends(&scratch.groups);
+      PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
+      const int num_blocks = static_cast<int>(group_ends->size());
+      ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
-          step.after, static_cast<int>(blocks.size()),
-          [&](int b) -> const TableView& { return blocks[b]; }, exec,
-          view.num_tuples(), &results));
+          ctx, depth + 1, num_blocks,
+          [&](int b) { return BlockSpan(span, *group_ends, b); },
+          span.num_tuples(), &*results));
       const BlockResult* best = nullptr;
-      for (const BlockResult& result : results) {
-        if (best == nullptr || result.weight > best->weight) best = &result;
+      for (int b = 0; b < num_blocks; ++b) {
+        if (best == nullptr || results[b].weight > best->weight) {
+          best = &results[b];
+        }
       }
       if (best != nullptr && best->weight > 0) {
         kept->insert(kept->end(), best->rows.begin(), best->rows.end());
@@ -131,38 +241,45 @@ Status Recurse(const FdSet& fds, const TableView& view,
       // value, tuples of at most one X2 value and vice versa (cl(X1) =
       // cl(X2) ⊇ X1X2), so block selection is a bipartite matching between
       // π_X1 T and π_X2 T, maximizing kept weight.
-      BlockPartition partition =
-          PartitionForMarriage(view, step.marriage_x1, step.marriage_x2);
-      std::vector<BlockResult> results;
+      RecursionScratch& scratch = LocalScratch();
+      ScopedIntBuffer group_ends(&scratch.groups);
+      ScopedIntBuffer left(&scratch.groups);
+      ScopedIntBuffer right(&scratch.groups);
+      int num_left = 0;
+      int num_right = 0;
+      PartitionSpanForMarriage(span, step.marriage_x1, step.marriage_x2,
+                               &scratch.groups, &*group_ends, &*left, &*right,
+                               &num_left, &num_right);
+      const int num_blocks = static_cast<int>(group_ends->size());
+      ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
-          step.after, static_cast<int>(partition.blocks.size()),
-          [&](int b) -> const TableView& { return partition.blocks[b].view; },
-          exec, view.num_tuples(), &results));
+          ctx, depth + 1, num_blocks,
+          [&](int b) { return BlockSpan(span, *group_ends, b); },
+          span.num_tuples(), &*results));
       std::vector<BipartiteEdge> edges;
-      edges.reserve(partition.blocks.size());
-      for (size_t b = 0; b < partition.blocks.size(); ++b) {
-        edges.push_back(BipartiteEdge{partition.blocks[b].left,
-                                      partition.blocks[b].right,
-                                      results[b].weight});
+      edges.reserve(num_blocks);
+      for (int b = 0; b < num_blocks; ++b) {
+        edges.push_back(
+            BipartiteEdge{(*left)[b], (*right)[b], results[b].weight});
       }
-      MatchingResult matching = MaxWeightBipartiteMatching(
-          partition.num_left, partition.num_right, edges);
+      MatchingResult matching =
+          MaxWeightBipartiteMatching(num_left, num_right, edges);
       // Blocks are keyed by their unique (left, right) pair.
-      std::unordered_map<uint64_t, const BlockResult*> result_of;
-      for (size_t b = 0; b < partition.blocks.size(); ++b) {
-        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(
-                            partition.blocks[b].left))
-                        << 32) |
-                       static_cast<uint32_t>(partition.blocks[b].right);
-        result_of[key] = &results[b];
+      std::unordered_map<uint64_t, int> block_of;
+      block_of.reserve(num_blocks);
+      for (int b = 0; b < num_blocks; ++b) {
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>((*left)[b])) << 32) |
+            static_cast<uint32_t>((*right)[b]);
+        block_of[key] = b;
       }
-      for (const auto& [left, right] : matching.pairs) {
-        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(left))
-                        << 32) |
-                       static_cast<uint32_t>(right);
-        const BlockResult* result = result_of.at(key);
-        kept->insert(kept->end(), result->rows.begin(), result->rows.end());
-        *kept_weight += result->weight;
+      for (const auto& [l, r] : matching.pairs) {
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(l)) << 32) |
+            static_cast<uint32_t>(r);
+        const BlockResult& result = results[block_of.at(key)];
+        kept->insert(kept->end(), result.rows.begin(), result.rows.end());
+        *kept_weight += result.weight;
       }
       return Status::OK();
     }
@@ -189,9 +306,21 @@ StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
         "OptSRepair fails: OSRSucceeds is false for ∆ = " + fds.ToString() +
         " (computing an optimal S-repair is APX-complete; Theorem 3.4)");
   }
+  // The chain depends only on ∆ (§3.2): compute it once and let every
+  // block at depth d share the step, instead of re-simplifying per block.
+  SimplificationChain chain = SimplificationChain::Compute(fds);
+  // The single shared row-index buffer: the recursion permutes it in place
+  // and hands disjoint sub-windows to child blocks (concurrent blocks touch
+  // disjoint ranges), so no level materializes per-block index vectors.
+  std::vector<int> buffer = view.rows();
   std::vector<int> kept;
   double kept_weight = 0;
-  FDR_RETURN_IF_ERROR(Recurse(fds, view, exec, &kept, &kept_weight));
+  RecursionContext ctx{&chain, &exec};
+  FDR_RETURN_IF_ERROR(
+      Recurse(ctx, 0,
+              RowSpan(view.table(), buffer.data(),
+                      static_cast<int>(buffer.size())),
+              &kept, &kept_weight));
   std::sort(kept.begin(), kept.end());
   return kept;
 }

@@ -20,6 +20,16 @@
 // block-local accumulators and merged in first-appearance block order, so
 // the reduction — including floating-point weight summation — follows the
 // same expression tree whether blocks run sequentially or concurrently.
+//
+// The recursion runs on the zero-allocation span core (storage/row_span.h):
+// one shared row-index buffer is permuted in place per level, blocks are
+// (begin, end) windows of it (disjoint, so concurrent blocks never touch
+// the same element), grouping is a stable counting scatter over interned
+// ValueIds, the simplification chain is computed once per top-level ∆
+// (§3.2: it depends only on ∆, not on T) and indexed by depth, and
+// per-thread scratch arenas recycle every block-local buffer. See
+// bench/bench_hotpath.cc for the measured win over the materializing
+// recursion it replaced.
 
 #ifndef FDREPAIR_SREPAIR_OPT_SREPAIR_H_
 #define FDREPAIR_SREPAIR_OPT_SREPAIR_H_

@@ -69,4 +69,24 @@ SimplificationStep NextSimplification(const FdSet& fds) {
   return step;
 }
 
+SimplificationChain SimplificationChain::Compute(const FdSet& fds) {
+  SimplificationChain chain;
+  FdSet current = fds;
+  // Every non-terminal step removes at least one attribute, so the chain
+  // has at most kMaxAttributes consuming steps plus the terminal one.
+  for (int d = 0; d <= kMaxAttributes; ++d) {
+    SimplificationStep step = NextSimplification(current);
+    const SimplificationKind kind = step.kind;
+    current = step.after;
+    chain.steps_.push_back(std::move(step));
+    if (kind == SimplificationKind::kTrivialTermination ||
+        kind == SimplificationKind::kStuck) {
+      return chain;
+    }
+  }
+  FDR_CHECK_MSG(false, "simplification chain did not terminate for "
+                           << fds.ToString());
+  return chain;
+}
+
 }  // namespace fdrepair

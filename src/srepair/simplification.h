@@ -49,6 +49,43 @@ struct SimplificationStep {
 /// should continue from `after`.
 SimplificationStep NextSimplification(const FdSet& fds);
 
+/// The full simplification chain of a ∆, computed once up front.
+///
+/// §3.2: the chain — and hence the success of OptSRepair — depends only on
+/// ∆, never on T. Every block at recursion depth d therefore shares the
+/// same residual ∆, so the recursion indexes a precomputed chain by depth
+/// instead of re-running NextSimplification inside every block (the chain
+/// is O(#attributes) long; blocks number in the thousands).
+class SimplificationChain {
+ public:
+  /// steps()[0] = NextSimplification(∆); steps()[d + 1] continues from
+  /// steps()[d].after. The final step — the only non-consuming one — is
+  /// kTrivialTermination or kStuck.
+  static SimplificationChain Compute(const FdSet& fds);
+
+  const std::vector<SimplificationStep>& steps() const { return steps_; }
+
+  /// The step applied at recursion depth `depth` (0-based). Valid depths
+  /// never exceed the chain: recursion stops at the terminal step.
+  const SimplificationStep& at(int depth) const {
+    FDR_DCHECK_MSG(depth >= 0 && depth < static_cast<int>(steps_.size()),
+                   "depth=" << depth << " chain length=" << steps_.size());
+    return steps_[depth];
+  }
+
+  /// Number of steps, terminal step included.
+  int length() const { return static_cast<int>(steps_.size()); }
+
+  /// True iff the chain ends in trivial termination — by Theorem 3.4 this
+  /// is exactly OSRSucceeds(∆).
+  bool succeeds() const {
+    return steps_.back().kind == SimplificationKind::kTrivialTermination;
+  }
+
+ private:
+  std::vector<SimplificationStep> steps_;
+};
+
 }  // namespace fdrepair
 
 #endif  // FDREPAIR_SREPAIR_SIMPLIFICATION_H_

@@ -6,17 +6,57 @@
 #include "graph/conflict_graph.h"
 #include "graph/vertex_cover.h"
 #include "storage/consistency.h"
+#include "storage/row_span.h"
 
 namespace fdrepair {
 namespace {
 constexpr double kEps = 1e-12;
+
+/// Incremental lhs-projection -> rhs-value index for one FD, built on the
+/// shared hash-plus-witness ProjectionIndex (storage/row_span.h) — no
+/// per-row ProjectionKey allocation. Entries are only ever added (the
+/// restore loop admits tuples one at a time).
+class FdRhsIndex {
+ private:
+  /// Resolves an entry to the tuple witnessing its lhs projection.
+  auto WitnessTuple(const TableView& view) const {
+    return [this, &view](int g) -> const Tuple& {
+      return view.tuple(witness_[g]);
+    };
+  }
+
+ public:
+  /// The rhs value recorded for tuple's lhs projection, or kNoValue.
+  static constexpr ValueId kNoValue = -1;
+  ValueId Find(const TableView& view, const Tuple& tuple, AttrSet lhs) const {
+    const int g = index_.Find(tuple, lhs, WitnessTuple(view));
+    return g == -1 ? kNoValue : rhs_[g];
+  }
+
+  /// Records `rhs` for tuple's lhs projection (first writer wins, matching
+  /// the emplace semantics of the map-based implementation).
+  void Insert(const TableView& view, int view_index, const Tuple& tuple,
+              AttrSet lhs, ValueId rhs) {
+    bool created = false;
+    index_.FindOrCreate(tuple, lhs, WitnessTuple(view), &created);
+    if (created) {
+      witness_.push_back(view_index);
+      rhs_.push_back(rhs);
+    }
+  }
+
+ private:
+  ProjectionIndex index_;
+  std::vector<int> witness_;  // entry -> view index keying the projection
+  std::vector<ValueId> rhs_;
+};
+
 }  // namespace
 
 std::vector<int> RestoreConsistentRows(const FdSet& fds, const TableView& view,
                                        std::vector<int> kept_rows) {
-  // Per-FD map: lhs projection -> the unique rhs value of the kept set.
-  std::vector<std::unordered_map<ProjectionKey, ValueId, ProjectionKeyHash>>
-      rhs_of(fds.size());
+  // Per-FD index: lhs projection -> the unique rhs value of the kept set.
+  std::vector<FdRhsIndex> rhs_of(fds.size());
   std::vector<char> kept(view.table().num_tuples(), 0);
   for (int row : kept_rows) kept[row] = 1;
 
@@ -24,21 +64,23 @@ std::vector<int> RestoreConsistentRows(const FdSet& fds, const TableView& view,
     for (int f = 0; f < fds.size(); ++f) {
       const Fd& fd = fds.fds()[f];
       if (fd.IsTrivial()) continue;
-      auto it = rhs_of[f].find(ProjectTuple(tuple, fd.lhs));
-      if (it != rhs_of[f].end() && it->second != tuple[fd.rhs]) return false;
+      ValueId recorded = rhs_of[f].Find(view, tuple, fd.lhs);
+      if (recorded != FdRhsIndex::kNoValue && recorded != tuple[fd.rhs]) {
+        return false;
+      }
     }
     return true;
   };
-  auto admit = [&](const Tuple& tuple) {
+  auto admit = [&](int i, const Tuple& tuple) {
     for (int f = 0; f < fds.size(); ++f) {
       const Fd& fd = fds.fds()[f];
       if (fd.IsTrivial()) continue;
-      rhs_of[f].emplace(ProjectTuple(tuple, fd.lhs), tuple[fd.rhs]);
+      rhs_of[f].Insert(view, i, tuple, fd.lhs, tuple[fd.rhs]);
     }
   };
 
   for (int i = 0; i < view.num_tuples(); ++i) {
-    if (kept[view.row(i)]) admit(view.tuple(i));
+    if (kept[view.row(i)]) admit(i, view.tuple(i));
   }
   // Candidates to restore, heaviest first (ties by view order for
   // determinism).
@@ -50,7 +92,7 @@ std::vector<int> RestoreConsistentRows(const FdSet& fds, const TableView& view,
                    [&](int a, int b) { return view.weight(a) > view.weight(b); });
   for (int i : candidates) {
     if (admits(view.tuple(i))) {
-      admit(view.tuple(i));
+      admit(i, view.tuple(i));
       kept[view.row(i)] = 1;
     }
   }
@@ -69,48 +111,96 @@ std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view) {
   for (int i = 0; i < view.num_tuples(); ++i) residual[i] = view.weight(i);
   auto alive = [&](int i) { return residual[i] > kEps; };
 
+  // Reused per FD: lhs groups in first-appearance order, resolved by the
+  // shared hash-plus-witness ProjectionIndex (no per-row key allocation).
+  // First-appearance order also makes the local-ratio pairing
+  // deterministic — the pre-span implementation iterated unordered_map
+  // order, which was only deterministic per standard-library
+  // implementation.
+  ProjectionIndex lhs_index;
+  std::vector<int> witness;  // group -> view index of its first alive row
+  std::vector<std::vector<int>> members;  // group -> member view indices
+  auto witness_tuple = [&](int g) -> const Tuple& {
+    return view.tuple(witness[g]);
+  };
+  // Per-group rhs partition scratch (counting scatter into runs).
+  std::unordered_map<ValueId, int> rhs_index;
+  std::vector<int> sub_of;
+  std::vector<int> run_start;
+  std::vector<int> run_end;
+  std::vector<int> scattered;
+  std::vector<size_t> cursor;
+
   for (const Fd& fd : fds.fds()) {
     if (fd.IsTrivial()) continue;
-    // lhs group -> rhs subgroups (complete multipartite conflicts).
-    std::unordered_map<ProjectionKey, std::unordered_map<ValueId, std::vector<int>>,
-                       ProjectionKeyHash>
-        groups;
+    lhs_index.Clear();
+    witness.clear();
+    members.clear();
     for (int i = 0; i < view.num_tuples(); ++i) {
       if (!alive(i)) continue;
-      groups[ProjectTuple(view.tuple(i), fd.lhs)][view.value(i, fd.rhs)]
-          .push_back(i);
+      bool created = false;
+      const int g = lhs_index.FindOrCreate(view.tuple(i), fd.lhs,
+                                           witness_tuple, &created);
+      if (created) {
+        witness.push_back(i);
+        members.emplace_back();
+      }
+      members[g].push_back(i);
     }
-    for (auto& [lhs_key, by_rhs] : groups) {
-      if (by_rhs.size() < 2) continue;
-      // Collect subgroups with cursors; each local-ratio step kills at
-      // least one tuple, so total work is linear in the group size.
-      std::vector<std::vector<int>*> subgroups;
-      subgroups.reserve(by_rhs.size());
-      for (auto& [rhs_value, members] : by_rhs) subgroups.push_back(&members);
-      std::vector<size_t> cursor(subgroups.size(), 0);
-      auto advance = [&](size_t s) {
-        while (cursor[s] < subgroups[s]->size() &&
-               !alive((*subgroups[s])[cursor[s]])) {
+    for (std::vector<int>& group_members : members) {
+      // Partition the group's members into rhs-value runs (stable, runs in
+      // first-appearance order of the rhs value).
+      rhs_index.clear();
+      sub_of.clear();
+      int num_sub = 0;
+      for (int m : group_members) {
+        auto [it, inserted] = rhs_index.emplace(view.value(m, fd.rhs), num_sub);
+        if (inserted) ++num_sub;
+        sub_of.push_back(it->second);
+      }
+      if (num_sub < 2) continue;
+      run_start.assign(num_sub, 0);
+      for (int s : sub_of) ++run_start[s];
+      int total = 0;
+      run_end.assign(num_sub, 0);
+      for (int s = 0; s < num_sub; ++s) {
+        const int size = run_start[s];
+        run_start[s] = total;
+        total += size;
+        run_end[s] = total;
+      }
+      scattered.resize(group_members.size());
+      cursor.assign(run_start.begin(), run_start.end());
+      for (size_t m = 0; m < group_members.size(); ++m) {
+        scattered[cursor[sub_of[m]]++] = group_members[m];
+      }
+      // Local-ratio: repeatedly take alive tuples from two distinct rhs
+      // runs (a complete-multipartite conflict) and burn the smaller
+      // residual; each step kills at least one tuple, so total work is
+      // linear in the group size.
+      for (int s = 0; s < num_sub; ++s) cursor[s] = run_start[s];
+      auto advance = [&](int s) {
+        while (cursor[s] < static_cast<size_t>(run_end[s]) &&
+               !alive(scattered[cursor[s]])) {
           ++cursor[s];
         }
-        return cursor[s] < subgroups[s]->size();
+        return cursor[s] < static_cast<size_t>(run_end[s]);
       };
       while (true) {
-        // Find two distinct subgroups with alive tuples.
         int first = -1, second = -1;
-        for (size_t s = 0; s < subgroups.size(); ++s) {
+        for (int s = 0; s < num_sub; ++s) {
           if (!advance(s)) continue;
           if (first < 0) {
-            first = static_cast<int>(s);
+            first = s;
           } else {
-            second = static_cast<int>(s);
+            second = s;
             break;
           }
         }
         if (second < 0) break;  // conflicts within this group all covered
-        int u = (*subgroups[first])[cursor[first]];
-        int v = (*subgroups[second])[cursor[second]];
-        double delta = std::min(residual[u], residual[v]);
+        const int u = scattered[cursor[first]];
+        const int v = scattered[cursor[second]];
+        const double delta = std::min(residual[u], residual[v]);
         residual[u] -= delta;
         residual[v] -= delta;
       }

@@ -2,18 +2,36 @@
 
 #include <unordered_map>
 
+#include "storage/row_span.h"
+
 namespace fdrepair {
 
 bool Satisfies(const TableView& view, const FdSet& fds) {
+  // Hash-plus-witness lhs grouping (ProjectionIndex, storage/row_span.h):
+  // no per-row ProjectionKey is ever materialized. Satisfies sits on the
+  // verify and serving paths, where it runs once per candidate repair.
+  ProjectionIndex lhs_index;
+  std::vector<int> witness;    // entry -> view index of the group's first row
+  std::vector<ValueId> rhs;    // entry -> the rhs value the group must share
+  auto witness_tuple = [&](int g) -> const Tuple& {
+    return view.tuple(witness[g]);
+  };
   for (const Fd& fd : fds.fds()) {
     if (fd.IsTrivial()) continue;
-    // Map lhs projection -> the rhs value every tuple in the group must share.
-    std::unordered_map<ProjectionKey, ValueId, ProjectionKeyHash> rhs_of;
+    lhs_index.Clear();
+    witness.clear();
+    rhs.clear();
     for (int i = 0; i < view.num_tuples(); ++i) {
-      ProjectionKey key = ProjectTuple(view.tuple(i), fd.lhs);
-      ValueId rhs = view.value(i, fd.rhs);
-      auto [it, inserted] = rhs_of.emplace(std::move(key), rhs);
-      if (!inserted && it->second != rhs) return false;
+      const Tuple& tuple = view.tuple(i);
+      bool created = false;
+      const int g =
+          lhs_index.FindOrCreate(tuple, fd.lhs, witness_tuple, &created);
+      if (created) {
+        witness.push_back(i);
+        rhs.push_back(tuple[fd.rhs]);
+      } else if (rhs[g] != tuple[fd.rhs]) {
+        return false;
+      }
     }
   }
   return true;

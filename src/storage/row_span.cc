@@ -1,0 +1,159 @@
+#include "storage/row_span.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace fdrepair {
+
+void GroupScratch::GroupInPlace(RowSpan span, AttrSet attrs,
+                                std::vector<int>* group_ends) {
+  group_ends->clear();
+  const int n = span.num_tuples();
+  if (n == 0) return;
+  if (attrs.empty()) {
+    // π_∅ puts every row in one trivial group; nothing to permute.
+    group_ends->push_back(n);
+    return;
+  }
+  if (static_cast<int>(group_of_row_.size()) < n) group_of_row_.resize(n);
+  int num_groups;
+  if (attrs.size() == 1) {
+    num_groups = AssignGroupsSingleAttr(span, attrs.First());
+  } else if (attrs.size() == 2) {
+    const AttrId a1 = attrs.First();
+    const AttrId a2 = attrs.Minus(AttrSet::Singleton(a1)).First();
+    num_groups = AssignGroupsPackedPair(span, a1, a2);
+  } else {
+    num_groups = AssignGroupsGeneric(span, attrs);
+  }
+  if (num_groups == 1) {
+    // Already contiguous; skip the scatter.
+    group_ends->push_back(n);
+    return;
+  }
+  ScatterByGroup(span, num_groups, group_ends);
+}
+
+int GroupScratch::AssignGroupsSingleAttr(RowSpan span, AttrId attr) {
+  const int n = span.num_tuples();
+  // Epoch stamping makes the dense slot table reusable without clearing:
+  // a slot belongs to this call iff its epoch matches.
+  if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+    value_slot_.assign(value_slot_.size(), ValueSlot{});
+    epoch_ = 0;
+  }
+  ++epoch_;
+  ValueId max_value = 0;
+  for (int i = 0; i < n; ++i) {
+    const ValueId v = span.value(i, attr);
+    FDR_DCHECK_MSG(v >= 0, "value id " << v);
+    max_value = std::max(max_value, v);
+  }
+  if (static_cast<size_t>(max_value) >= value_slot_.size()) {
+    value_slot_.resize(static_cast<size_t>(max_value) + 1);
+  }
+  int num_groups = 0;
+  for (int i = 0; i < n; ++i) {
+    ValueSlot& slot = value_slot_[span.value(i, attr)];
+    if (slot.epoch != epoch_) {
+      slot.epoch = epoch_;
+      slot.group = num_groups++;
+    }
+    group_of_row_[i] = slot.group;
+  }
+  return num_groups;
+}
+
+int GroupScratch::AssignGroupsPackedPair(RowSpan span, AttrId a1, AttrId a2) {
+  const int n = span.num_tuples();
+  packed_group_.clear();
+  int num_groups = 0;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(span.value(i, a1)))
+         << 32) |
+        static_cast<uint32_t>(span.value(i, a2));
+    auto [it, inserted] = packed_group_.emplace(key, num_groups);
+    if (inserted) ++num_groups;
+    group_of_row_[i] = it->second;
+  }
+  return num_groups;
+}
+
+int GroupScratch::AssignGroupsGeneric(RowSpan span, AttrSet attrs) {
+  const int n = span.num_tuples();
+  projection_index_.Clear();
+  witness_.clear();
+  auto witness_tuple = [&](int g) -> const Tuple& {
+    return span.table().tuple(witness_[g]);
+  };
+  for (int i = 0; i < n; ++i) {
+    bool created = false;
+    const int group = projection_index_.FindOrCreate(span.tuple(i), attrs,
+                                                     witness_tuple, &created);
+    if (created) witness_.push_back(span.row(i));
+    group_of_row_[i] = group;
+  }
+  return projection_index_.size();
+}
+
+void GroupScratch::ScatterByGroup(RowSpan span, int num_groups,
+                                  std::vector<int>* group_ends) {
+  const int n = span.num_tuples();
+  group_start_.assign(num_groups, 0);
+  for (int i = 0; i < n; ++i) ++group_start_[group_of_row_[i]];
+  int total = 0;
+  group_ends->reserve(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    const int size = group_start_[g];
+    group_start_[g] = total;
+    total += size;
+    group_ends->push_back(total);
+  }
+  if (static_cast<int>(scatter_.size()) < n) scatter_.resize(n);
+  int* data = span.data();
+  for (int i = 0; i < n; ++i) {
+    scatter_[group_start_[group_of_row_[i]]++] = data[i];
+  }
+  std::copy(scatter_.begin(), scatter_.begin() + n, data);
+}
+
+int GroupScratch::AssignDistinctIndices(RowSpan span,
+                                        const std::vector<int>& group_ends,
+                                        AttrSet attrs,
+                                        std::vector<int>* index_of_group) {
+  index_of_group->clear();
+  const int num_groups = static_cast<int>(group_ends.size());
+  index_of_group->reserve(num_groups);
+  projection_index_.Clear();
+  witness_.clear();
+  auto witness_tuple = [&](int d) -> const Tuple& {
+    return span.table().tuple(witness_[d]);
+  };
+  int begin = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    const int witness_row = span.row(begin);
+    bool created = false;
+    const int index = projection_index_.FindOrCreate(
+        span.table().tuple(witness_row), attrs, witness_tuple, &created);
+    if (created) witness_.push_back(witness_row);
+    index_of_group->push_back(index);
+    begin = group_ends[g];
+  }
+  return projection_index_.size();
+}
+
+std::vector<int> GroupScratch::AcquireIntBuffer() {
+  if (free_buffers_.empty()) return {};
+  std::vector<int> buffer = std::move(free_buffers_.back());
+  free_buffers_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void GroupScratch::ReleaseIntBuffer(std::vector<int> buffer) {
+  free_buffers_.push_back(std::move(buffer));
+}
+
+}  // namespace fdrepair

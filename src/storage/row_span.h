@@ -1,0 +1,241 @@
+// RowSpan + GroupScratch: the zero-allocation grouping core behind the
+// OptSRepair recursion.
+//
+// Algorithm 1 spends essentially all of its time partitioning tuples into
+// σ-blocks and recursing on them. The TableView-based recursion materialized
+// a fresh std::vector<int> per block per level and heap-allocated a
+// ProjectionKey per row; on deep simplification chains that is O(n · depth)
+// allocations. The span core removes them:
+//
+//   - one row-index buffer is owned by the top-level call; RowSpan hands
+//     (pointer, size) windows of it to child recursions;
+//   - GroupInPlace *permutes* a span's window so each π_attrs group becomes
+//     contiguous — groups in first-appearance order, rows within a group in
+//     original order (a stable counting scatter, not a comparison sort) —
+//     and only reports the group boundaries;
+//   - group identity is resolved over interned ValueIds: a dense
+//     epoch-stamped slot table for single attributes (the common-lhs /
+//     consensus fast path), an exact packed 64-bit key for two attributes
+//     (the 2-set marriage case), and hash-plus-witness verification beyond
+//     that — never a heap-allocated projection key.
+//
+// Distinct spans cover disjoint buffer ranges, so concurrent recursions may
+// permute their own spans without synchronization (each worker additionally
+// uses its own GroupScratch; the scratch itself is not thread-safe).
+//
+// First-appearance group order is load-bearing: the parallel engine's
+// bit-identical guarantee reduces block results in exactly this order (see
+// srepair/opt_srepair.h).
+
+#ifndef FDREPAIR_STORAGE_ROW_SPAN_H_
+#define FDREPAIR_STORAGE_ROW_SPAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/attrset.h"
+#include "storage/table.h"
+
+namespace fdrepair {
+
+/// A non-owning window over a contiguous range of a shared row-index
+/// buffer. The Table and the buffer must outlive the span. Reads go through
+/// the table (const, thread-safe); the window's indices themselves may be
+/// permuted in place by GroupScratch::GroupInPlace.
+class RowSpan {
+ public:
+  RowSpan() = default;
+  RowSpan(const Table& table, int* data, int size)
+      : table_(&table), data_(data), size_(size) {
+    FDR_DCHECK(size >= 0);
+  }
+
+  const Table& table() const { return *table_; }
+  int num_tuples() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The underlying dense row position of the i-th span row.
+  int row(int i) const { return data_[i]; }
+  /// Mutable access to the window (GroupScratch permutes through this).
+  int* data() const { return data_; }
+
+  const Tuple& tuple(int i) const { return table_->tuple(data_[i]); }
+  TupleId id(int i) const { return table_->id(data_[i]); }
+  double weight(int i) const { return table_->weight(data_[i]); }
+  ValueId value(int i, AttrId attr) const {
+    return table_->value(data_[i], attr);
+  }
+
+  /// The sub-window [offset, offset + count) over the same buffer.
+  RowSpan Subspan(int offset, int count) const {
+    FDR_DCHECK_MSG(offset >= 0 && count >= 0 && offset + count <= size_,
+                   "offset=" << offset << " count=" << count
+                             << " size=" << size_);
+    return RowSpan(*table_, data_ + offset, count);
+  }
+
+ private:
+  const Table* table_ = nullptr;
+  int* data_ = nullptr;
+  int size_ = 0;
+};
+
+/// FNV-1a over a tuple's projection onto `attrs`, without materializing it.
+/// Matches ProjectionKeyHash on the equivalent ProjectionKey.
+inline uint64_t ProjectionHash(const Tuple& tuple, AttrSet attrs) {
+  uint64_t h = 1469598103934665603ULL;
+  ForEachAttr(attrs, [&](AttrId attr) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(tuple[attr]));
+    h *= 1099511628211ULL;
+  });
+  return h;
+}
+
+/// True iff two tuples agree on every attribute of `attrs`.
+inline bool ProjectionEquals(const Tuple& a, const Tuple& b, AttrSet attrs) {
+  uint64_t bits = attrs.bits();
+  while (bits != 0) {
+    AttrId attr = __builtin_ctzll(bits);
+    if (a[attr] != b[attr]) return false;
+    bits &= bits - 1;
+  }
+  return true;
+}
+
+/// A dense first-appearance index over tuple projections: entry i is the
+/// i-th distinct π_attrs projection encountered. Keyed by ProjectionHash;
+/// same-hash entries form a chain resolved by comparing against each
+/// entry's *witness* tuple, which the caller resolves through a callback —
+/// so no projection is ever materialized, and callers keep their payloads
+/// (witness rows, rhs values, member lists) in plain parallel vectors.
+/// One shared implementation for every hash-plus-witness grouping in the
+/// tree (GroupScratch's generic paths, Satisfies, the vc-approx route).
+class ProjectionIndex {
+ public:
+  void Clear() {
+    first_of_hash_.clear();  // keeps bucket capacity
+    next_same_hash_.clear();
+  }
+
+  int size() const { return static_cast<int>(next_same_hash_.size()); }
+
+  /// The entry whose witness projection equals `tuple`'s, or -1.
+  /// `witness_tuple(e)` must return entry e's witness Tuple.
+  template <typename WitnessTupleFn>
+  int Find(const Tuple& tuple, AttrSet attrs,
+           const WitnessTupleFn& witness_tuple) const {
+    auto it = first_of_hash_.find(ProjectionHash(tuple, attrs));
+    if (it == first_of_hash_.end()) return -1;
+    for (int e = it->second; e != -1; e = next_same_hash_[e]) {
+      if (ProjectionEquals(tuple, witness_tuple(e), attrs)) return e;
+    }
+    return -1;
+  }
+
+  /// Find, creating a new entry (dense, in first-appearance order) when
+  /// absent; *created reports which. On creation the callback is never
+  /// invoked for the new entry, so the caller may append its payload (and
+  /// witness) right after the call returns.
+  template <typename WitnessTupleFn>
+  int FindOrCreate(const Tuple& tuple, AttrSet attrs,
+                   const WitnessTupleFn& witness_tuple, bool* created) {
+    const uint64_t h = ProjectionHash(tuple, attrs);
+    auto it = first_of_hash_.find(h);
+    if (it != first_of_hash_.end()) {
+      for (int e = it->second; e != -1; e = next_same_hash_[e]) {
+        if (ProjectionEquals(tuple, witness_tuple(e), attrs)) {
+          *created = false;
+          return e;
+        }
+      }
+    }
+    const int e = size();
+    // New same-hash entries are prepended to the chain; entry ids (and so
+    // first-appearance order) never depend on the chain order.
+    next_same_hash_.push_back(it != first_of_hash_.end() ? it->second : -1);
+    if (it != first_of_hash_.end()) {
+      it->second = e;
+    } else {
+      first_of_hash_.emplace(h, e);
+    }
+    *created = true;
+    return e;
+  }
+
+ private:
+  std::unordered_map<uint64_t, int> first_of_hash_;
+  std::vector<int> next_same_hash_;
+};
+
+/// Reusable buffers for in-place span grouping plus a small arena of int
+/// vectors for recursion-local data (group boundaries, kept-row buffers).
+///
+/// One scratch serves any number of sequential GroupInPlace calls; no state
+/// is live across calls, so a recursion may reuse a single (e.g.
+/// thread_local) instance at every level. NOT thread-safe: concurrent
+/// recursions need one scratch each.
+class GroupScratch {
+ public:
+  GroupScratch() = default;
+  GroupScratch(const GroupScratch&) = delete;
+  GroupScratch& operator=(const GroupScratch&) = delete;
+
+  /// Permutes `span`'s window in place so that rows with equal π_attrs
+  /// projections become contiguous: groups in first-appearance order, rows
+  /// within a group in their original span order. Clears *group_ends and
+  /// fills it with each group's end offset — group g occupies
+  /// [g == 0 ? 0 : (*group_ends)[g - 1], (*group_ends)[g]).
+  /// An empty span produces no groups; empty `attrs` produces one group.
+  void GroupInPlace(RowSpan span, AttrSet attrs, std::vector<int>* group_ends);
+
+  /// Given the grouping of `span` described by `group_ends`, assigns each
+  /// group the dense first-appearance index of its π_attrs projection
+  /// (witnessed by the group's first row) among all groups. Clears and
+  /// fills *index_of_group (one entry per group); returns the number of
+  /// distinct projections. This is how marriage blocks get their bipartite
+  /// endpoints: distinct π_X1 (resp. π_X2) values index the two sides.
+  int AssignDistinctIndices(RowSpan span, const std::vector<int>& group_ends,
+                            AttrSet attrs, std::vector<int>* index_of_group);
+
+  /// Int-vector arena: Acquire returns an empty vector that keeps whatever
+  /// capacity it accumulated in earlier rounds; Release returns it to the
+  /// freelist. Releasing into a different scratch than the one that acquired
+  /// is harmless (the buffer simply changes homes).
+  std::vector<int> AcquireIntBuffer();
+  void ReleaseIntBuffer(std::vector<int> buffer);
+
+ private:
+  /// Phase 1 helpers: fill group_of_row_[0..n) with dense group ids in
+  /// first-appearance order and return the group count.
+  int AssignGroupsSingleAttr(RowSpan span, AttrId attr);
+  int AssignGroupsPackedPair(RowSpan span, AttrId a1, AttrId a2);
+  int AssignGroupsGeneric(RowSpan span, AttrSet attrs);
+
+  /// Phase 2: stable counting scatter of span rows by group_of_row_.
+  void ScatterByGroup(RowSpan span, int num_groups,
+                      std::vector<int>* group_ends);
+
+  std::vector<int> group_of_row_;
+  std::vector<int> group_start_;
+  std::vector<int> scatter_;
+  /// Single-attribute fast path: slot per ValueId, stamped with epoch_ so
+  /// clearing between calls is O(1).
+  struct ValueSlot {
+    uint32_t epoch = 0;
+    int group = -1;
+  };
+  std::vector<ValueSlot> value_slot_;
+  uint32_t epoch_ = 0;
+  /// Two-attribute fast path: exact packed (v1, v2) key.
+  std::unordered_map<uint64_t, int> packed_group_;
+  /// Generic path: hash-plus-witness projection index; witness_[g] is the
+  /// dense table row witnessing group g.
+  ProjectionIndex projection_index_;
+  std::vector<int> witness_;
+  std::vector<std::vector<int>> free_buffers_;
+};
+
+}  // namespace fdrepair
+
+#endif  // FDREPAIR_STORAGE_ROW_SPAN_H_

@@ -104,16 +104,30 @@ bool Table::IsDuplicateFree() const {
 
 Table Table::SubsetByRows(const std::vector<int>& rows) const {
   Table out(schema_, pool_);
+  // Reserve everything up front — in particular id_index_, whose
+  // per-append rehash churn dominated large subsets — and append directly:
+  // the source rows already satisfy the append invariants (positive
+  // weights, matching arity), leaving only the duplicate-row check.
+  out.ids_.reserve(rows.size());
+  out.weights_.reserve(rows.size());
+  out.tuples_.reserve(rows.size());
+  out.id_index_.reserve(rows.size());
   for (int row : rows) {
     FDR_CHECK_MSG(row >= 0 && row < num_tuples(), "row=" << row);
-    Status status = out.AddInternedTupleWithId(ids_[row], tuples_[row],
-                                               weights_[row]);
-    FDR_CHECK_MSG(status.ok(), status.ToString());
+    auto [it, inserted] = out.id_index_.emplace(ids_[row], out.num_tuples());
+    FDR_CHECK_MSG(inserted, "duplicate row " << row << " (tuple identifier "
+                                             << ids_[row] << ")");
+    out.ids_.push_back(ids_[row]);
+    out.weights_.push_back(weights_[row]);
+    out.tuples_.push_back(tuples_[row]);
+    out.next_id_ = std::max(out.next_id_, ids_[row] + 1);
   }
   return out;
 }
 
 Table Table::Clone() const {
+  // Whole-container copies: id_index_ is copied as one map (bucket array
+  // sized once), never rebuilt entry by entry.
   Table out(schema_, pool_);
   out.ids_ = ids_;
   out.weights_ = weights_;

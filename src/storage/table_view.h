@@ -4,6 +4,12 @@
 // values (σ_{A=a}T in Subroutines 1–3). Views keep those partitions as index
 // vectors into the root table, so the recursion's total work follows the
 // paper's recurrences (3)–(5) instead of copying tuples at every level.
+//
+// The GroupRows/GroupBy APIs below materialize one index vector per group;
+// the OptSRepair hot path no longer uses them — it permutes a shared
+// row-index buffer in place instead (storage/row_span.h) — but they remain
+// the convenient interface for everything off the hot path, and the oracle
+// the span core is tested against.
 
 #ifndef FDREPAIR_STORAGE_TABLE_VIEW_H_
 #define FDREPAIR_STORAGE_TABLE_VIEW_H_

@@ -1,5 +1,7 @@
 #include "workloads/office.h"
 
+#include <utility>
+
 #include "workloads/example_fdsets.h"
 
 namespace fdrepair {
@@ -36,11 +38,14 @@ OfficeExample MakeOfficeExample() {
     return table.SubsetByRows(rows);
   };
 
-  OfficeExample example{schema,         fds,
-                        table.Clone(),  subset({2, 3, 4}),
-                        subset({1, 4}), subset({3, 4}),
-                        table.Clone(),  table.Clone(),
-                        table.Clone()};
+  Table subset_s1 = subset({2, 3, 4});
+  Table subset_s2 = subset({1, 4});
+  Table subset_s3 = subset({3, 4});
+  // Only the three update tables get mutated below, so only they need
+  // private copies; the base table is moved into the example as-is.
+  Table update_u1 = table.Clone();
+  Table update_u2 = table.Clone();
+  Table update_u3 = table.Clone();
 
   auto set = [&](Table* t, TupleId id, const std::string& attr,
                  const std::string& value) {
@@ -52,16 +57,24 @@ OfficeExample MakeOfficeExample() {
   };
 
   // U1 (Figure 1(e)): tuple 1's facility becomes F01.
-  set(&example.update_u1, 1, "facility", "F01");
+  set(&update_u1, 1, "facility", "F01");
   // U2 (Figure 1(f)): tuple 2 gets floor 3 and city Paris; tuple 3 Paris.
-  set(&example.update_u2, 2, "floor", "3");
-  set(&example.update_u2, 2, "city", "Paris");
-  set(&example.update_u2, 3, "city", "Paris");
+  set(&update_u2, 2, "floor", "3");
+  set(&update_u2, 2, "city", "Paris");
+  set(&update_u2, 3, "city", "Paris");
   // U3 (Figure 1(g)): tuple 1 gets floor 30 and city Madrid.
-  set(&example.update_u3, 1, "floor", "30");
-  set(&example.update_u3, 1, "city", "Madrid");
+  set(&update_u3, 1, "floor", "30");
+  set(&update_u3, 1, "city", "Madrid");
 
-  return example;
+  return OfficeExample{schema,
+                       fds,
+                       std::move(table),
+                       std::move(subset_s1),
+                       std::move(subset_s2),
+                       std::move(subset_s3),
+                       std::move(update_u1),
+                       std::move(update_u2),
+                       std::move(update_u3)};
 }
 
 }  // namespace fdrepair

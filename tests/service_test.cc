@@ -325,8 +325,13 @@ TEST(RepairServiceTest, SingleFlightDeduplicatesConcurrentIdenticalRequests) {
 }
 
 TEST(RepairServiceTest, DeadlineAndCapacityRejectionUnderFullQueue) {
-  ParsedFdSet parsed = OfficeFds();
-  Table big = ScalingFamilyTable(parsed, 400000, 41);
+  // The occupant must hold the single execution slot for much longer than
+  // the queued request's deadline on any machine. A chain family does not
+  // cut it anymore — the span recursion core repairs a 400k-tuple office
+  // chain in tens of milliseconds — so use the ssn lhs-marriage family,
+  // whose cost is dominated by the bipartite matching, not by grouping.
+  ParsedFdSet parsed = Example31Ssn();
+  Table big = ScalingFamilyTable(parsed, 32768, 41);
   Table small_a = ScalingFamilyTable(parsed, 50, 43);
   Table small_b = ScalingFamilyTable(parsed, 60, 47);
 
