@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Perf-trend history accumulator for the CI bench-regression job.
+
+Each CI run produces BENCH_*.json reports (see report_util.h). This script
+appends them to a history directory that the workflow persists across runs
+(actions/cache) and publishes as a downloadable artifact, so a perf trend
+is one artifact download away instead of N separate per-run artifacts:
+
+    perf-trend/
+      history.jsonl        one line per run: {"sha", "when", "metrics": {...}}
+      runs/<sha>/          that run's raw BENCH_*.json files
+
+Appending is idempotent per sha (a re-run of the same commit replaces its
+entry), and the history is pruned to the newest --keep runs so the cache
+stays bounded. Stdlib only; `--self-test` runs the script's own checks and
+is exercised by CI before the history is trusted.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+
+def load_history(path):
+    entries = []
+    if os.path.exists(path):
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+    return entries
+
+
+def collect_metrics(reports_dir):
+    """Flattens every BENCH_*.json in reports_dir into one {name: value}."""
+    metrics = {}
+    files = []
+    for fname in sorted(os.listdir(reports_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        files.append(fname)
+        with open(os.path.join(reports_dir, fname)) as f:
+            report = json.load(f)
+        for metric in report.get("metrics", []):
+            metrics[metric["name"]] = metric["value"]
+    return metrics, files
+
+
+def append_run(history_dir, reports_dir, sha, when=None, keep=200):
+    """Records one run; returns the number of runs now in the history."""
+    metrics, files = collect_metrics(reports_dir)
+    if not files:
+        raise SystemExit("no BENCH_*.json files in %s" % reports_dir)
+    os.makedirs(history_dir, exist_ok=True)
+    run_dir = os.path.join(history_dir, "runs", sha)
+    if os.path.exists(run_dir):
+        shutil.rmtree(run_dir)  # same-sha re-run replaces its snapshot
+    os.makedirs(run_dir)
+    for fname in files:
+        shutil.copy(os.path.join(reports_dir, fname), run_dir)
+
+    history_path = os.path.join(history_dir, "history.jsonl")
+    entries = [e for e in load_history(history_path) if e.get("sha") != sha]
+    entries.append({
+        "sha": sha,
+        "when": when or datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "metrics": metrics,
+    })
+    entries = entries[-keep:]
+    kept_shas = {e["sha"] for e in entries}
+    runs_root = os.path.join(history_dir, "runs")
+    for stale in os.listdir(runs_root):
+        if stale not in kept_shas:
+            shutil.rmtree(os.path.join(runs_root, stale))
+    with open(history_path, "w") as f:
+        for entry in entries:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def self_test():
+    def write_report(directory, name, metrics):
+        with open(os.path.join(directory, name), "w") as f:
+            json.dump({"experiment": "t", "smoke": True,
+                       "metrics": [{"name": k, "value": v, "unit": ""}
+                                   for k, v in metrics.items()]}, f)
+
+    checks = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        reports = os.path.join(tmp, "reports")
+        history = os.path.join(tmp, "perf-trend")
+        os.makedirs(reports)
+
+        # Appends accumulate distinct shas; metrics are flattened per run.
+        write_report(reports, "BENCH_a.json", {"m.x": 1.0})
+        write_report(reports, "BENCH_b.json", {"m.y": 2.0})
+        assert append_run(history, reports, "sha1", when="t1") == 1
+        write_report(reports, "BENCH_a.json", {"m.x": 1.5})
+        assert append_run(history, reports, "sha2", when="t2") == 2
+        entries = load_history(os.path.join(history, "history.jsonl"))
+        assert [e["sha"] for e in entries] == ["sha1", "sha2"], entries
+        assert entries[0]["metrics"] == {"m.x": 1.0, "m.y": 2.0}, entries
+        assert entries[1]["metrics"]["m.x"] == 1.5, entries
+        assert os.path.exists(
+            os.path.join(history, "runs", "sha1", "BENCH_a.json"))
+        checks += 1
+
+        # Same-sha re-run replaces, never duplicates.
+        write_report(reports, "BENCH_a.json", {"m.x": 9.0})
+        assert append_run(history, reports, "sha2", when="t3") == 2
+        entries = load_history(os.path.join(history, "history.jsonl"))
+        assert [e["sha"] for e in entries] == ["sha1", "sha2"], entries
+        assert entries[1]["metrics"]["m.x"] == 9.0, entries
+        checks += 1
+
+        # Pruning keeps the newest runs and deletes stale snapshots.
+        for i in range(3, 8):
+            assert append_run(history, reports, "sha%d" % i,
+                              when="t%d" % i, keep=3) <= 3
+        entries = load_history(os.path.join(history, "history.jsonl"))
+        assert [e["sha"] for e in entries] == ["sha5", "sha6", "sha7"], entries
+        assert not os.path.exists(os.path.join(history, "runs", "sha1"))
+        assert os.path.exists(os.path.join(history, "runs", "sha7"))
+        checks += 1
+
+        # An empty reports directory is a hard error, not a silent no-op.
+        empty = os.path.join(tmp, "empty")
+        os.makedirs(empty)
+        try:
+            append_run(history, empty, "shaX")
+            raise AssertionError("expected SystemExit for empty reports dir")
+        except SystemExit:
+            pass
+        checks += 1
+
+    print("perf-trend self-test OK (%d check groups)" % checks)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--history", default="perf-trend",
+                        help="history directory (cached across CI runs)")
+    parser.add_argument("--dir", default="build/bench",
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--sha", help="commit sha keying this run")
+    parser.add_argument("--keep", type=int, default=200,
+                        help="maximum runs retained in the history")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.sha:
+        parser.error("--sha is required (except with --self-test)")
+    count = append_run(args.history, args.dir, args.sha, keep=args.keep)
+    print("perf-trend: %d run(s) in %s" % (count, args.history))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

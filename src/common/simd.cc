@@ -1,0 +1,167 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#if FDREPAIR_SIMD_AVX2_KERNELS
+#include <immintrin.h>
+#endif
+
+namespace fdrepair {
+namespace simd {
+namespace {
+
+// -1 = automatic; otherwise a pinned SimdMode.
+std::atomic<int> forced_mode{-1};
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("FDREPAIR_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+         std::strcmp(env, "scalar") == 0 || std::strcmp(env, "0") == 0;
+}
+
+SimdMode AutoSimdMode() {
+  // Decided once: the environment and the CPU do not change mid-process.
+  static const SimdMode mode = []() {
+    if (!FDREPAIR_SIMD_AVX2_KERNELS || EnvForcesScalar() ||
+        !CpuSupportsAvx2()) {
+      return SimdMode::kScalar;
+    }
+    return SimdMode::kAvx2;
+  }();
+  return mode;
+}
+
+int32_t GatherWithMaxScalar(const int32_t* column, const int* rows, int n,
+                            int32_t* out) {
+  int32_t max_value = std::numeric_limits<int32_t>::min();
+  for (int i = 0; i < n; ++i) {
+    const int32_t v = column[rows[i]];
+    out[i] = v;
+    if (v > max_value) max_value = v;
+  }
+  return max_value;
+}
+
+void GatherPackPairsScalar(const int32_t* c1, const int32_t* c2,
+                           const int* rows, int n, uint64_t* out) {
+  for (int i = 0; i < n; ++i) {
+    const int row = rows[i];
+    out[i] = PackPair(c1[row], c2[row]);
+  }
+}
+
+#if FDREPAIR_SIMD_AVX2_KERNELS
+
+__attribute__((target("avx2"))) int32_t GatherWithMaxAvx2(
+    const int32_t* column, const int* rows, int n, int32_t* out) {
+  __m256i max8 = _mm256_set1_epi32(std::numeric_limits<int32_t>::min());
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    const __m256i vals = _mm256_i32gather_epi32(column, idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), vals);
+    max8 = _mm256_max_epi32(max8, vals);
+  }
+  __m128i max4 = _mm_max_epi32(_mm256_castsi256_si128(max8),
+                               _mm256_extracti128_si256(max8, 1));
+  max4 = _mm_max_epi32(max4, _mm_shuffle_epi32(max4, _MM_SHUFFLE(1, 0, 3, 2)));
+  max4 = _mm_max_epi32(max4, _mm_shuffle_epi32(max4, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t max_value = _mm_cvtsi128_si32(max4);
+  for (; i < n; ++i) {
+    const int32_t v = column[rows[i]];
+    out[i] = v;
+    if (v > max_value) max_value = v;
+  }
+  return max_value;
+}
+
+__attribute__((target("avx2"))) void GatherPackPairsAvx2(
+    const int32_t* c1, const int32_t* c2, const int* rows, int n,
+    uint64_t* out) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    const __m256i hi = _mm256_i32gather_epi32(c1, idx, 4);  // key bits 63..32
+    const __m256i lo = _mm256_i32gather_epi32(c2, idx, 4);  // key bits 31..0
+    // Interleave 32-bit lanes into 64-bit keys. unpacklo/unpackhi work per
+    // 128-bit half, yielding keys {0,1,4,5} and {2,3,6,7}; the two
+    // permute2x128 restore key order 0..7 across the stores.
+    const __m256i keys_0145 = _mm256_unpacklo_epi32(lo, hi);
+    const __m256i keys_2367 = _mm256_unpackhi_epi32(lo, hi);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_permute2x128_si256(keys_0145, keys_2367, 0x20));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i + 4),
+        _mm256_permute2x128_si256(keys_0145, keys_2367, 0x31));
+  }
+  for (; i < n; ++i) {
+    const int row = rows[i];
+    out[i] = PackPair(c1[row], c2[row]);
+  }
+}
+
+#endif  // FDREPAIR_SIMD_AVX2_KERNELS
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdMode ActiveSimdMode() {
+  const int forced = forced_mode.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdMode>(forced);
+  return AutoSimdMode();
+}
+
+void ForceSimdMode(SimdMode mode) {
+  if (mode == SimdMode::kAvx2 &&
+      (!FDREPAIR_SIMD_AVX2_KERNELS || !CpuSupportsAvx2())) {
+    // Cannot honor an AVX2 pin without the kernels; stay scalar.
+    mode = SimdMode::kScalar;
+  }
+  forced_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ClearForcedSimdMode() {
+  forced_mode.store(-1, std::memory_order_relaxed);
+}
+
+const char* SimdModeName(SimdMode mode) {
+  return mode == SimdMode::kAvx2 ? "avx2" : "scalar";
+}
+
+int32_t GatherWithMax(const int32_t* column, const int* rows, int n,
+                      int32_t* out) {
+#if FDREPAIR_SIMD_AVX2_KERNELS
+  if (ActiveSimdMode() == SimdMode::kAvx2) {
+    return GatherWithMaxAvx2(column, rows, n, out);
+  }
+#endif
+  return GatherWithMaxScalar(column, rows, n, out);
+}
+
+void GatherPackPairs(const int32_t* c1, const int32_t* c2, const int* rows,
+                     int n, uint64_t* out) {
+#if FDREPAIR_SIMD_AVX2_KERNELS
+  if (ActiveSimdMode() == SimdMode::kAvx2) {
+    GatherPackPairsAvx2(c1, c2, rows, n, out);
+    return;
+  }
+#endif
+  GatherPackPairsScalar(c1, c2, rows, n, out);
+}
+
+}  // namespace simd
+}  // namespace fdrepair

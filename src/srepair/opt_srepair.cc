@@ -182,6 +182,18 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
   }
 
   const SimplificationStep& step = ctx.chain->at(depth);
+  if (span.num_tuples() == 1 && step.kind != SimplificationKind::kStuck) {
+    // A single tuple cannot violate any FD, so it is its own optimal
+    // S-repair under every simplifiable ∆ — no need to walk the rest of
+    // the chain one singleton block per level. This keeps the recursion's
+    // call count proportional to the number of non-trivial blocks (the
+    // deep-chain profile was dominated by singleton-span bookkeeping).
+    // Bit-identical to the full walk: the same row is kept, and its weight
+    // reaches the accumulator as the same single term.
+    kept->push_back(span.row(0));
+    *kept_weight += span.weight(0);
+    return Status::OK();
+  }
   switch (step.kind) {
     case SimplificationKind::kTrivialTermination: {
       // Line 2: ∆ trivial — T is its own optimal S-repair.
@@ -199,6 +211,16 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
       ScopedIntBuffer group_ends(&scratch.groups);
       PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
       const int num_blocks = static_cast<int>(group_ends->size());
+      if (num_blocks == span.num_tuples()) {
+        // Every block is a single tuple, and a single tuple is always its
+        // own optimal S-repair — the union keeps everything. Same rows and
+        // the same left-to-right weight sum as the block-by-block merge.
+        for (int i = 0; i < span.num_tuples(); ++i) {
+          kept->push_back(span.row(i));
+          *kept_weight += span.weight(i);
+        }
+        return Status::OK();
+      }
       ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
           ctx, depth + 1, num_blocks,
@@ -218,6 +240,18 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
       ScopedIntBuffer group_ends(&scratch.groups);
       PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
       const int num_blocks = static_cast<int>(group_ends->size());
+      if (num_blocks == span.num_tuples()) {
+        // All blocks are single tuples: the consensus repair is the
+        // heaviest tuple, first in span order on ties — exactly what the
+        // block merge below computes via `>` against the running best.
+        int best = 0;
+        for (int i = 1; i < span.num_tuples(); ++i) {
+          if (span.weight(i) > span.weight(best)) best = i;
+        }
+        kept->push_back(span.row(best));
+        *kept_weight += span.weight(best);
+        return Status::OK();
+      }
       ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
           ctx, depth + 1, num_blocks,

@@ -118,6 +118,9 @@ std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view) {
   // order, which was only deterministic per standard-library
   // implementation.
   ProjectionIndex lhs_index;
+  /// Single-attribute lhs: columnar DenseValueIndex sweep (same dense
+  /// first-appearance group ids, no projection hashing).
+  DenseValueIndex lhs_values;
   std::vector<int> witness;  // group -> view index of its first alive row
   std::vector<std::vector<int>> members;  // group -> member view indices
   auto witness_tuple = [&](int g) -> const Tuple& {
@@ -133,14 +136,21 @@ std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view) {
 
   for (const Fd& fd : fds.fds()) {
     if (fd.IsTrivial()) continue;
+    const bool single_lhs = fd.lhs.size() == 1;
+    const ValueId* lhs_column =
+        single_lhs ? view.table().ColumnData(fd.lhs.First()) : nullptr;
+    lhs_values.Clear();
     lhs_index.Clear();
     witness.clear();
     members.clear();
     for (int i = 0; i < view.num_tuples(); ++i) {
       if (!alive(i)) continue;
       bool created = false;
-      const int g = lhs_index.FindOrCreate(view.tuple(i), fd.lhs,
-                                           witness_tuple, &created);
+      const int g =
+          single_lhs
+              ? lhs_values.FindOrCreate(lhs_column[view.row(i)], &created)
+              : lhs_index.FindOrCreate(view.tuple(i), fd.lhs, witness_tuple,
+                                       &created);
       if (created) {
         witness.push_back(i);
         members.emplace_back();

@@ -10,6 +10,12 @@ bool Satisfies(const TableView& view, const FdSet& fds) {
   // Hash-plus-witness lhs grouping (ProjectionIndex, storage/row_span.h):
   // no per-row ProjectionKey is ever materialized. Satisfies sits on the
   // verify and serving paths, where it runs once per candidate repair.
+  // Single-attribute lhs (the common FD shape) takes a columnar fast path:
+  // one SIMD gather per column and an epoch-stamped DenseValueIndex sweep
+  // instead of per-row tuple reads and projection hashing.
+  const int n = view.num_tuples();
+  DenseValueIndex lhs_values;
+  std::vector<ValueId> lhs_staged;  // gathered lhs values, dense by view row
   ProjectionIndex lhs_index;
   std::vector<int> witness;    // entry -> view index of the group's first row
   std::vector<ValueId> rhs;    // entry -> the rhs value the group must share
@@ -18,10 +24,52 @@ bool Satisfies(const TableView& view, const FdSet& fds) {
   };
   for (const Fd& fd : fds.fds()) {
     if (fd.IsTrivial()) continue;
+    if (fd.lhs.size() == 1) {
+      // Same size dispatch as the grouping core: small views run a fused
+      // single pass straight off the two columns (keeping the row-by-row
+      // early exit at the first violation); large views stage the lhs
+      // column through the SIMD gather first. rhs values are read straight
+      // from their column in both shapes — staging them would cost a full
+      // pass before the first violation check.
+      const ValueId* lhs_column = view.table().ColumnData(fd.lhs.First());
+      const ValueId* rhs_column = view.table().ColumnData(fd.rhs);
+      const int* rows = view.rows().data();
+      lhs_values.Clear();
+      rhs.clear();
+      if (n >= kSimdStagingMinRows &&
+          simd::ActiveSimdMode() == simd::SimdMode::kAvx2) {
+        lhs_staged.resize(n);
+        const ValueId max_lhs =
+            simd::GatherWithMax(lhs_column, rows, n, lhs_staged.data());
+        lhs_values.Reserve(max_lhs);
+        for (int i = 0; i < n; ++i) {
+          bool created = false;
+          const int g = lhs_values.FindOrCreate(lhs_staged[i], &created);
+          const ValueId r = rhs_column[rows[i]];
+          if (created) {
+            rhs.push_back(r);
+          } else if (rhs[g] != r) {
+            return false;
+          }
+        }
+      } else {
+        for (int i = 0; i < n; ++i) {
+          bool created = false;
+          const int g = lhs_values.FindOrCreate(lhs_column[rows[i]], &created);
+          const ValueId r = rhs_column[rows[i]];
+          if (created) {
+            rhs.push_back(r);
+          } else if (rhs[g] != r) {
+            return false;
+          }
+        }
+      }
+      continue;
+    }
     lhs_index.Clear();
     witness.clear();
     rhs.clear();
-    for (int i = 0; i < view.num_tuples(); ++i) {
+    for (int i = 0; i < n; ++i) {
       const Tuple& tuple = view.tuple(i);
       bool created = false;
       const int g =

@@ -1,10 +1,24 @@
 #include "storage/row_span.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
 namespace fdrepair {
+
+namespace {
+std::atomic<int> active_layout{static_cast<int>(GroupingLayout::kColumnar)};
+}  // namespace
+
+void SetGroupingLayout(GroupingLayout layout) {
+  active_layout.store(static_cast<int>(layout), std::memory_order_relaxed);
+}
+
+GroupingLayout ActiveGroupingLayout() {
+  return static_cast<GroupingLayout>(
+      active_layout.load(std::memory_order_relaxed));
+}
 
 void GroupScratch::GroupInPlace(RowSpan span, AttrSet attrs,
                                 std::vector<int>* group_ends) {
@@ -17,13 +31,16 @@ void GroupScratch::GroupInPlace(RowSpan span, AttrSet attrs,
     return;
   }
   if (static_cast<int>(group_of_row_.size()) < n) group_of_row_.resize(n);
+  const bool columnar = ActiveGroupingLayout() == GroupingLayout::kColumnar;
   int num_groups;
   if (attrs.size() == 1) {
-    num_groups = AssignGroupsSingleAttr(span, attrs.First());
+    num_groups = columnar ? AssignGroupsSingleAttr(span, attrs.First())
+                          : AssignGroupsSingleAttrRowMajor(span, attrs.First());
   } else if (attrs.size() == 2) {
     const AttrId a1 = attrs.First();
     const AttrId a2 = attrs.Minus(AttrSet::Singleton(a1)).First();
-    num_groups = AssignGroupsPackedPair(span, a1, a2);
+    num_groups = columnar ? AssignGroupsPackedPair(span, a1, a2)
+                          : AssignGroupsPackedPairRowMajor(span, a1, a2);
   } else {
     num_groups = AssignGroupsGeneric(span, attrs);
   }
@@ -32,49 +49,115 @@ void GroupScratch::GroupInPlace(RowSpan span, AttrSet attrs,
     group_ends->push_back(n);
     return;
   }
+  if (num_groups == n) {
+    // Every row is its own group, so first-appearance order IS the current
+    // order: the permutation is the identity. Skip the scatter.
+    for (int i = 1; i <= n; ++i) group_ends->push_back(i);
+    return;
+  }
   ScatterByGroup(span, num_groups, group_ends);
 }
 
 int GroupScratch::AssignGroupsSingleAttr(RowSpan span, AttrId attr) {
   const int n = span.num_tuples();
-  // Epoch stamping makes the dense slot table reusable without clearing:
-  // a slot belongs to this call iff its epoch matches.
-  if (epoch_ == std::numeric_limits<uint32_t>::max()) {
-    value_slot_.assign(value_slot_.size(), ValueSlot{});
-    epoch_ = 0;
+  const ValueId* column = span.table().ColumnData(attr);
+  const int* rows = span.data();
+  value_index_.Clear();
+  bool created = false;
+  if (n >= kSimdStagingMinRows &&
+      simd::ActiveSimdMode() == simd::SimdMode::kAvx2) {
+    // Large windows: one 8-lane gather+max pass stages the key values into
+    // a dense buffer (sizing the slot table in the same pass); the dedup
+    // loop then streams the staging buffer sequentially. Group ids come
+    // out in first-appearance order on every path, so all three variants
+    // (staged, fused, row-major) are bit-identical.
+    if (static_cast<int>(gathered_values_.size()) < n) {
+      gathered_values_.resize(n);
+    }
+    const ValueId max_value =
+        simd::GatherWithMax(column, rows, n, gathered_values_.data());
+    value_index_.Reserve(max_value);
+    for (int i = 0; i < n; ++i) {
+      group_of_row_[i] =
+          value_index_.FindOrCreate(gathered_values_[i], &created);
+    }
+    return value_index_.size();
   }
-  ++epoch_;
+  // Small windows (or scalar dispatch): a fused single pass straight off
+  // the contiguous column — no staging, no max prescan (the slot table
+  // grows on demand and retains its high-water capacity across calls).
+  // This is where the columnar layout beats the row-major path even
+  // without SIMD: the pre-columnar loop made two strided passes through
+  // tuple[attr], chasing one Tuple pointer per row per pass.
+  for (int i = 0; i < n; ++i) {
+    group_of_row_[i] = value_index_.FindOrCreate(column[rows[i]], &created);
+  }
+  return value_index_.size();
+}
+
+int GroupScratch::AssignGroupsSingleAttrRowMajor(RowSpan span, AttrId attr) {
+  // The pre-columnar path: two strided passes through tuple[attr].
+  // Preserved verbatim as the bench/test oracle for the columnar path.
+  const int n = span.num_tuples();
+  value_index_.Clear();
   ValueId max_value = 0;
   for (int i = 0; i < n; ++i) {
     const ValueId v = span.value(i, attr);
     FDR_DCHECK_MSG(v >= 0, "value id " << v);
     max_value = std::max(max_value, v);
   }
-  if (static_cast<size_t>(max_value) >= value_slot_.size()) {
-    value_slot_.resize(static_cast<size_t>(max_value) + 1);
-  }
-  int num_groups = 0;
+  value_index_.Reserve(max_value);
   for (int i = 0; i < n; ++i) {
-    ValueSlot& slot = value_slot_[span.value(i, attr)];
-    if (slot.epoch != epoch_) {
-      slot.epoch = epoch_;
-      slot.group = num_groups++;
-    }
-    group_of_row_[i] = slot.group;
+    bool created = false;
+    group_of_row_[i] = value_index_.FindOrCreate(span.value(i, attr), &created);
   }
-  return num_groups;
+  return value_index_.size();
 }
 
 int GroupScratch::AssignGroupsPackedPair(RowSpan span, AttrId a1, AttrId a2) {
   const int n = span.num_tuples();
+  const ValueId* c1 = span.table().ColumnData(a1);
+  const ValueId* c2 = span.table().ColumnData(a2);
+  const int* rows = span.data();
+  packed_group_.clear();
+  int num_groups = 0;
+  if (n >= kSimdStagingMinRows &&
+      simd::ActiveSimdMode() == simd::SimdMode::kAvx2) {
+    // Large windows: gather both key columns and pack the exact 64-bit
+    // keys 8 rows per iteration; the hash-map dedup then streams a dense
+    // buffer.
+    if (static_cast<int>(gathered_pairs_.size()) < n) {
+      gathered_pairs_.resize(n);
+    }
+    simd::GatherPackPairs(c1, c2, rows, n, gathered_pairs_.data());
+    for (int i = 0; i < n; ++i) {
+      auto [it, inserted] =
+          packed_group_.emplace(gathered_pairs_[i], num_groups);
+      if (inserted) ++num_groups;
+      group_of_row_[i] = it->second;
+    }
+    return num_groups;
+  }
+  // Small windows (or scalar dispatch): fused pack straight off the two
+  // contiguous columns.
+  for (int i = 0; i < n; ++i) {
+    const int row = rows[i];
+    auto [it, inserted] =
+        packed_group_.emplace(simd::PackPair(c1[row], c2[row]), num_groups);
+    if (inserted) ++num_groups;
+    group_of_row_[i] = it->second;
+  }
+  return num_groups;
+}
+
+int GroupScratch::AssignGroupsPackedPairRowMajor(RowSpan span, AttrId a1,
+                                                 AttrId a2) {
+  const int n = span.num_tuples();
   packed_group_.clear();
   int num_groups = 0;
   for (int i = 0; i < n; ++i) {
-    const uint64_t key =
-        (static_cast<uint64_t>(static_cast<uint32_t>(span.value(i, a1)))
-         << 32) |
-        static_cast<uint32_t>(span.value(i, a2));
-    auto [it, inserted] = packed_group_.emplace(key, num_groups);
+    auto [it, inserted] = packed_group_.emplace(
+        simd::PackPair(span.value(i, a1), span.value(i, a2)), num_groups);
     if (inserted) ++num_groups;
     group_of_row_[i] = it->second;
   }
@@ -126,6 +209,21 @@ int GroupScratch::AssignDistinctIndices(RowSpan span,
   index_of_group->clear();
   const int num_groups = static_cast<int>(group_ends.size());
   index_of_group->reserve(num_groups);
+  if (attrs.size() == 1 &&
+      ActiveGroupingLayout() == GroupingLayout::kColumnar) {
+    // Single-attribute side (the common marriage shape): resolve each
+    // group's witness value straight out of the column store.
+    const ValueId* column = span.table().ColumnData(attrs.First());
+    value_index_.Clear();
+    int begin = 0;
+    for (int g = 0; g < num_groups; ++g) {
+      bool created = false;
+      index_of_group->push_back(
+          value_index_.FindOrCreate(column[span.row(begin)], &created));
+      begin = group_ends[g];
+    }
+    return value_index_.size();
+  }
   projection_index_.Clear();
   witness_.clear();
   auto witness_tuple = [&](int d) -> const Tuple& {

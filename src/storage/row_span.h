@@ -17,7 +17,14 @@
 //     epoch-stamped slot table for single attributes (the common-lhs /
 //     consensus fast path), an exact packed 64-bit key for two attributes
 //     (the 2-set marriage case), and hash-plus-witness verification beyond
-//     that — never a heap-allocated projection key.
+//     that — never a heap-allocated projection key;
+//   - the 1- and 2-attribute paths read the Table's contiguous per-attribute
+//     column store (storage/table.h) instead of striding across Tuple rows:
+//     one SIMD gather (common/simd.h — AVX2 with a bit-identical scalar
+//     fallback) pulls the window's key values into a dense scratch buffer,
+//     and the dedup loop runs over that buffer. The pre-columnar row-major
+//     loops are preserved behind SetGroupingLayout(kRowMajor) so tests and
+//     bench_hotpath can pin the old path and verify/measure against it.
 //
 // Distinct spans cover disjoint buffer ranges, so concurrent recursions may
 // permute their own spans without synchronization (each worker additionally
@@ -31,13 +38,36 @@
 #define FDREPAIR_STORAGE_ROW_SPAN_H_
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/attrset.h"
+#include "common/simd.h"
 #include "storage/table.h"
 
 namespace fdrepair {
+
+/// Which storage layout GroupScratch's 1-/2-attribute fast paths read.
+/// kColumnar (the default) sweeps the Table's column store through the SIMD
+/// gather kernels; kRowMajor is the pre-columnar tuple[attr] path, kept so
+/// benches and property tests can pin the old behavior as an oracle.
+enum class GroupingLayout {
+  kColumnar,
+  kRowMajor,
+};
+
+/// Process-wide layout switch (tests/benches only; production code leaves
+/// it at kColumnar). Not synchronized against in-flight grouping — flip it
+/// only from single-threaded setup code.
+void SetGroupingLayout(GroupingLayout layout);
+GroupingLayout ActiveGroupingLayout();
+
+/// Below this window size a SIMD staging pass costs more than it saves
+/// (kernel call + staging write/read per row vs a handful of scalar
+/// loads); measured crossover is around a few hundred rows. Shared by the
+/// grouping fast paths and Satisfies' columnar sweep.
+inline constexpr int kSimdStagingMinRows = 256;
 
 /// A non-owning window over a contiguous range of a shared row-index
 /// buffer. The Table and the buffer must outlive the span. Reads go through
@@ -168,6 +198,70 @@ class ProjectionIndex {
   std::vector<int> next_same_hash_;
 };
 
+/// An epoch-stamped dense map from ValueId to a small dense id assigned in
+/// first-appearance order: the single-attribute counterpart of
+/// ProjectionIndex, shared by GroupScratch's 1-attribute path, marriage
+/// endpoint assignment, Satisfies' single-attribute-lhs fast path and the
+/// vc-approx route. Clear() is O(1) (an epoch bump); slot storage grows to
+/// the largest ValueId seen and is retained across Clear()s, so a reused
+/// index allocates only on new high-water marks. Not thread-safe.
+class DenseValueIndex {
+ public:
+  void Clear() {
+    if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+      slots_.assign(slots_.size(), Slot{});
+      epoch_ = 0;
+    }
+    ++epoch_;
+    count_ = 0;
+  }
+
+  /// Pre-grows slot storage so FindOrCreate never resizes mid-loop.
+  /// Negative maxima (e.g. the gather kernel's INT32_MIN on an empty
+  /// window) are no-ops.
+  void Reserve(ValueId max_value) {
+    if (max_value >= 0 && static_cast<size_t>(max_value) >= slots_.size()) {
+      slots_.resize(static_cast<size_t>(max_value) + 1);
+    }
+  }
+
+  /// The dense id of `value`, assigning the next one on first sight.
+  /// Requires value >= 0; grows storage on demand (use Reserve to hoist
+  /// the growth check out of hot loops).
+  int FindOrCreate(ValueId value, bool* created) {
+    FDR_DCHECK_MSG(value >= 0, "value id " << value);
+    if (static_cast<size_t>(value) >= slots_.size()) {
+      slots_.resize(static_cast<size_t>(value) + 1);
+    }
+    Slot& slot = slots_[value];
+    *created = slot.epoch != epoch_;
+    if (*created) {
+      slot.epoch = epoch_;
+      slot.id = count_++;
+    }
+    return slot.id;
+  }
+
+  /// The dense id of `value`, or -1 if it was never seen this epoch.
+  int Find(ValueId value) const {
+    if (value < 0 || static_cast<size_t>(value) >= slots_.size()) return -1;
+    const Slot& slot = slots_[value];
+    return slot.epoch == epoch_ ? slot.id : -1;
+  }
+
+  int size() const { return count_; }
+
+ private:
+  struct Slot {
+    uint32_t epoch = 0;
+    int id = -1;
+  };
+  std::vector<Slot> slots_;
+  /// Starts at 1 so default-epoch (0) slots are never mistaken as current.
+  uint32_t epoch_ = 1;
+  int count_ = 0;
+};
+
 /// Reusable buffers for in-place span grouping plus a small arena of int
 /// vectors for recursion-local data (group boundaries, kept-row buffers).
 ///
@@ -207,9 +301,14 @@ class GroupScratch {
 
  private:
   /// Phase 1 helpers: fill group_of_row_[0..n) with dense group ids in
-  /// first-appearance order and return the group count.
+  /// first-appearance order and return the group count. The columnar
+  /// variants (default layout) gather the key attribute's column(s) through
+  /// the SIMD kernels; the row-major variants are the preserved
+  /// pre-columnar loops, dispatched via ActiveGroupingLayout().
   int AssignGroupsSingleAttr(RowSpan span, AttrId attr);
+  int AssignGroupsSingleAttrRowMajor(RowSpan span, AttrId attr);
   int AssignGroupsPackedPair(RowSpan span, AttrId a1, AttrId a2);
+  int AssignGroupsPackedPairRowMajor(RowSpan span, AttrId a1, AttrId a2);
   int AssignGroupsGeneric(RowSpan span, AttrSet attrs);
 
   /// Phase 2: stable counting scatter of span rows by group_of_row_.
@@ -219,14 +318,13 @@ class GroupScratch {
   std::vector<int> group_of_row_;
   std::vector<int> group_start_;
   std::vector<int> scatter_;
-  /// Single-attribute fast path: slot per ValueId, stamped with epoch_ so
-  /// clearing between calls is O(1).
-  struct ValueSlot {
-    uint32_t epoch = 0;
-    int group = -1;
-  };
-  std::vector<ValueSlot> value_slot_;
-  uint32_t epoch_ = 0;
+  /// Single-attribute fast path: ValueId -> dense group id (epoch-stamped,
+  /// O(1) clear); also resolves marriage endpoints for 1-attribute sides.
+  DenseValueIndex value_index_;
+  /// Columnar staging: the gathered key values / packed pair keys of the
+  /// span's window, dense and contiguous for the dedup loop.
+  std::vector<ValueId> gathered_values_;
+  std::vector<uint64_t> gathered_pairs_;
   /// Two-attribute fast path: exact packed (v1, v2) key.
   std::unordered_map<uint64_t, int> packed_group_;
   /// Generic path: hash-plus-witness projection index; witness_[g] is the

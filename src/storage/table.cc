@@ -14,6 +14,7 @@ Table::Table(Schema schema)
 Table::Table(Schema schema, std::shared_ptr<ValuePool> pool)
     : schema_(std::move(schema)), pool_(std::move(pool)) {
   FDR_CHECK(pool_ != nullptr);
+  columns_.resize(schema_.arity());
 }
 
 TupleId Table::AddTuple(const std::vector<std::string>& values) {
@@ -52,9 +53,12 @@ Status Table::AddInternedTupleWithId(TupleId id, Tuple values, double weight) {
     return Status::InvalidArgument("duplicate tuple identifier " +
                                    std::to_string(id));
   }
+  // All validation passed: update the row store and its column-major
+  // mirror together, so no failure path can leave them disagreeing.
   id_index_.emplace(id, num_tuples());
   ids_.push_back(id);
   weights_.push_back(weight);
+  for (int a = 0; a < schema_.arity(); ++a) columns_[a].push_back(values[a]);
   tuples_.push_back(std::move(values));
   next_id_ = std::max(next_id_, id + 1);
   return Status::OK();
@@ -112,6 +116,7 @@ Table Table::SubsetByRows(const std::vector<int>& rows) const {
   out.weights_.reserve(rows.size());
   out.tuples_.reserve(rows.size());
   out.id_index_.reserve(rows.size());
+  for (auto& column : out.columns_) column.reserve(rows.size());
   for (int row : rows) {
     FDR_CHECK_MSG(row >= 0 && row < num_tuples(), "row=" << row);
     auto [it, inserted] = out.id_index_.emplace(ids_[row], out.num_tuples());
@@ -121,6 +126,12 @@ Table Table::SubsetByRows(const std::vector<int>& rows) const {
     out.weights_.push_back(weights_[row]);
     out.tuples_.push_back(tuples_[row]);
     out.next_id_ = std::max(out.next_id_, ids_[row] + 1);
+  }
+  // Column mirror, filled per attribute (contiguous source sweeps) rather
+  // than per row: columns_[a] here is a gather of this->columns_[a].
+  for (int a = 0; a < schema_.arity(); ++a) {
+    const ValueId* source = columns_[a].data();
+    for (int row : rows) out.columns_[a].push_back(source[row]);
   }
   return out;
 }
@@ -132,6 +143,7 @@ Table Table::Clone() const {
   out.ids_ = ids_;
   out.weights_ = weights_;
   out.tuples_ = tuples_;
+  out.columns_ = columns_;
   out.id_index_ = id_index_;
   out.next_id_ = next_id_;
   return out;
@@ -141,6 +153,18 @@ void Table::SetValue(int row, AttrId attr, ValueId value) {
   FDR_CHECK_MSG(row >= 0 && row < num_tuples(), "row=" << row);
   FDR_CHECK_MSG(attr >= 0 && attr < schema_.arity(), "attr=" << attr);
   tuples_[row][attr] = value;
+  columns_[attr][row] = value;
+}
+
+bool Table::ColumnStoreConsistent() const {
+  if (static_cast<int>(columns_.size()) != schema_.arity()) return false;
+  for (int a = 0; a < schema_.arity(); ++a) {
+    if (static_cast<int>(columns_[a].size()) != num_tuples()) return false;
+    for (int row = 0; row < num_tuples(); ++row) {
+      if (columns_[a][row] != tuples_[row][a]) return false;
+    }
+  }
+  return true;
 }
 
 std::string Table::ToString() const {

@@ -24,11 +24,41 @@ using TupleId = int64_t;
 /// A tuple as a dense row of interned values, one per schema attribute.
 using Tuple = std::vector<ValueId>;
 
+/// A contiguous, read-only window over one attribute's ValueIds, indexed by
+/// dense row position. Borrowed from a Table: any Table mutation may grow
+/// or rewrite the underlying column, so a ColumnView must not be held
+/// across mutators — re-fetch it instead (Table::Column is O(1)).
+class ColumnView {
+ public:
+  ColumnView() = default;
+  ColumnView(const ValueId* data, int size) : data_(data), size_(size) {}
+
+  const ValueId* data() const { return data_; }
+  int size() const { return size_; }
+  ValueId operator[](int row) const { return data_[row]; }
+
+ private:
+  const ValueId* data_ = nullptr;
+  int size_ = 0;
+};
+
+/// The column-major half of the hybrid layout: one ValueId vector per
+/// schema attribute, each indexed by dense row position.
+using ColumnSet = std::vector<std::vector<ValueId>>;
+
 /// A weighted, identified relation instance over one Schema.
 ///
-/// Tuples are stored row-major. The ValuePool is shared via shared_ptr so
-/// repairs (subsets, updates) of the same table can intern new values —
-/// in particular fresh constants — without copying the dictionary.
+/// Tuples are stored in a hybrid layout: row-major (`Tuple` rows, the
+/// witness-comparison and whole-tuple interface every consumer already
+/// uses) plus a column-major mirror (one contiguous ValueId vector per
+/// attribute) that turns single-attribute scans — the grouping hot path —
+/// into contiguous sweeps and feeds the SIMD gather kernels
+/// (common/simd.h). Both representations are updated together inside every
+/// mutator, after all argument validation, so no caller can ever observe a
+/// column that disagrees with its row (tests/table_test.cc audits this per
+/// mutator). The ValuePool is shared via shared_ptr so repairs (subsets,
+/// updates) of the same table can intern new values — in particular fresh
+/// constants — without copying the dictionary.
 ///
 /// Thread safety (audited for the parallel repair engine): every const
 /// member function is a pure read of immutable-after-append state, so any
@@ -69,6 +99,22 @@ class Table {
   double weight(int row) const { return weights_[row]; }
   ValueId value(int row, AttrId attr) const { return tuples_[row][attr]; }
 
+  /// Column-major access: attribute `attr`'s values for all rows, as one
+  /// contiguous array indexed by dense row position. Invariant:
+  /// Column(a)[r] == value(r, a) for every valid (r, a); see the class
+  /// comment for how mutators maintain it. The view/pointer is invalidated
+  /// by any mutation of this table.
+  ColumnView Column(AttrId attr) const {
+    return ColumnView(columns_[attr].data(), num_tuples());
+  }
+  const ValueId* ColumnData(AttrId attr) const {
+    return columns_[attr].data();
+  }
+
+  /// Audit helper (tests, debug checks): true iff the column store mirrors
+  /// the row store exactly. O(rows × arity).
+  bool ColumnStoreConsistent() const;
+
   /// The row position of identifier `id`, or kNotFound.
   StatusOr<int> RowOf(TupleId id) const;
 
@@ -105,6 +151,8 @@ class Table {
   std::vector<TupleId> ids_;
   std::vector<double> weights_;
   std::vector<Tuple> tuples_;
+  /// Column-major mirror of tuples_: columns_[a][r] == tuples_[r][a].
+  ColumnSet columns_;
   std::unordered_map<TupleId, int> id_index_;
   TupleId next_id_ = 1;
 };

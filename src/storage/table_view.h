@@ -9,7 +9,10 @@
 // the OptSRepair hot path no longer uses them — it permutes a shared
 // row-index buffer in place instead (storage/row_span.h) — but they remain
 // the convenient interface for everything off the hot path, and the oracle
-// the span core is tested against.
+// the span core is tested against. GroupRows deliberately stays on the
+// row-major tuple representation: it is the layout-independent reference
+// that the columnar + SIMD grouping fast paths (and the preserved
+// row-major span path) are pinned against in tests/row_span_test.cc.
 
 #ifndef FDREPAIR_STORAGE_TABLE_VIEW_H_
 #define FDREPAIR_STORAGE_TABLE_VIEW_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "engine/block_partitioner.h"
 #include "storage/row_span.h"
 #include "storage/table_view.h"
@@ -189,6 +190,126 @@ TEST(GroupScratchTest, WindowIsPermutedInPlaceOnly) {
     EXPECT_EQ(window, expected_window) << "trial " << trial;
     if (!group_ends.empty()) EXPECT_EQ(group_ends.back(), count);
   }
+}
+
+/// Restores the default layout + dispatch on scope exit, so test order
+/// cannot leak a pinned configuration.
+struct DispatchGuard {
+  ~DispatchGuard() {
+    SetGroupingLayout(GroupingLayout::kColumnar);
+    simd::ClearForcedSimdMode();
+  }
+};
+
+// The columnar-vs-row-major grouping oracle: on random tables and 1/2/3+
+// attribute keys, the columnar fast paths (under both SIMD and forced
+// scalar dispatch) must produce exactly the grouping of the preserved
+// row-major path AND of TableView::GroupRows — same permutation, same
+// group boundaries. This is what keeps the fast paths from ever drifting
+// from GroupRows.
+TEST(GroupScratchTest, ColumnarMatchesRowMajorAndGroupRowsOnRandomTables) {
+  DispatchGuard guard;
+  Rng rng(97);
+  ParsedFdSet parsed = Example31Ssn();  // 7 attributes
+  struct Config {
+    GroupingLayout layout;
+    simd::SimdMode mode;
+  };
+  const Config configs[] = {
+      {GroupingLayout::kRowMajor, simd::SimdMode::kScalar},
+      {GroupingLayout::kColumnar, simd::SimdMode::kScalar},
+      {GroupingLayout::kColumnar, simd::SimdMode::kAvx2},
+  };
+  GroupScratch scratch;
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 40 + static_cast<int>(rng.UniformUint64(400));
+    const int family = 3 + static_cast<int>(rng.UniformUint64(40));
+    Table table = ScalingFamilyTable(parsed, n, family, 3);
+    // Random key width 1..4 over random attributes.
+    AttrSet attrs;
+    const int width = 1 + static_cast<int>(rng.UniformUint64(4));
+    while (attrs.size() < width) {
+      attrs = attrs.With(static_cast<AttrId>(
+          rng.UniformUint64(table.schema().arity())));
+    }
+    GroupedRows expected = TableView(table).GroupRows(attrs);
+    for (const Config& config : configs) {
+      SetGroupingLayout(config.layout);
+      simd::ForceSimdMode(config.mode);
+      std::vector<int> buffer = AllRows(table);
+      RowSpan span(table, buffer.data(), static_cast<int>(buffer.size()));
+      std::vector<int> group_ends;
+      scratch.GroupInPlace(span, attrs, &group_ends);
+      std::vector<std::vector<int>> groups = GroupsOf(buffer, group_ends);
+      ASSERT_EQ(groups.size(), expected.rows.size())
+          << "trial " << trial << " attrs " << attrs.ToString() << " layout "
+          << static_cast<int>(config.layout) << " mode "
+          << simd::SimdModeName(config.mode);
+      for (size_t g = 0; g < groups.size(); ++g) {
+        ASSERT_EQ(groups[g], expected.rows[g])
+            << "trial " << trial << " attrs " << attrs.ToString() << " mode "
+            << simd::SimdModeName(config.mode) << " group " << g;
+      }
+    }
+  }
+}
+
+// Marriage endpoint assignment must also agree across layouts and dispatch
+// modes (the single-attribute endpoint path reads the column store).
+TEST(GroupScratchTest, MarriageEndpointsAgreeAcrossLayoutsAndDispatch) {
+  DispatchGuard guard;
+  ParsedFdSet parsed = DeltaAKeyBToC();
+  Table table = ScalingFamilyTable(parsed, 500, 11);
+  AttrSet x1 = AttrSet::Singleton(0);
+  AttrSet x2 = AttrSet::Singleton(1);
+  BlockPartition expected = PartitionForMarriage(TableView(table), x1, x2);
+  struct Config {
+    GroupingLayout layout;
+    simd::SimdMode mode;
+  };
+  for (const Config& config :
+       {Config{GroupingLayout::kRowMajor, simd::SimdMode::kScalar},
+        Config{GroupingLayout::kColumnar, simd::SimdMode::kScalar},
+        Config{GroupingLayout::kColumnar, simd::SimdMode::kAvx2}}) {
+    SetGroupingLayout(config.layout);
+    simd::ForceSimdMode(config.mode);
+    std::vector<int> buffer = AllRows(table);
+    RowSpan span(table, buffer.data(), static_cast<int>(buffer.size()));
+    GroupScratch scratch;
+    std::vector<int> group_ends, left, right;
+    int num_left = 0, num_right = 0;
+    PartitionSpanForMarriage(span, x1, x2, &scratch, &group_ends, &left,
+                             &right, &num_left, &num_right);
+    ASSERT_EQ(group_ends.size(), expected.blocks.size());
+    EXPECT_EQ(num_left, expected.num_left);
+    EXPECT_EQ(num_right, expected.num_right);
+    std::vector<std::vector<int>> blocks = GroupsOf(buffer, group_ends);
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      EXPECT_EQ(blocks[b], expected.blocks[b].view.rows()) << b;
+      EXPECT_EQ(left[b], expected.blocks[b].left) << b;
+      EXPECT_EQ(right[b], expected.blocks[b].right) << b;
+    }
+  }
+}
+
+TEST(DenseValueIndexTest, AssignsFirstAppearanceIdsAndClearsInO1) {
+  DenseValueIndex index;
+  index.Clear();
+  bool created = false;
+  EXPECT_EQ(index.FindOrCreate(42, &created), 0);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(index.FindOrCreate(7, &created), 1);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(index.FindOrCreate(42, &created), 0);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(index.size(), 2);
+  EXPECT_EQ(index.Find(7), 1);
+  EXPECT_EQ(index.Find(1000), -1);  // beyond storage: absent, not UB
+  index.Clear();
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_EQ(index.Find(42), -1);  // prior epoch's entries are gone
+  EXPECT_EQ(index.FindOrCreate(7, &created), 0);
+  EXPECT_TRUE(created);
 }
 
 TEST(GroupScratchTest, IntBufferArenaRecyclesCapacity) {

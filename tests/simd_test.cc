@@ -1,0 +1,103 @@
+// The SIMD gather kernels must be bit-identical to their scalar fallbacks
+// on every input shape — including the tail lanes (n % 8 != 0), repeated
+// and out-of-order row indices, and extreme ValueIds. When the host CPU
+// (or the build) lacks AVX2, the forced-AVX2 run silently degrades to
+// scalar, so the comparisons below stay meaningful everywhere.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fdrepair {
+namespace {
+
+/// Restores the automatic dispatch decision on scope exit.
+struct SimdModeGuard {
+  ~SimdModeGuard() { simd::ClearForcedSimdMode(); }
+};
+
+TEST(SimdTest, ModeForcingAndNames) {
+  SimdModeGuard guard;
+  simd::ForceSimdMode(simd::SimdMode::kScalar);
+  EXPECT_EQ(simd::ActiveSimdMode(), simd::SimdMode::kScalar);
+  simd::ForceSimdMode(simd::SimdMode::kAvx2);
+  if (FDREPAIR_SIMD_AVX2_KERNELS && simd::CpuSupportsAvx2()) {
+    EXPECT_EQ(simd::ActiveSimdMode(), simd::SimdMode::kAvx2);
+  } else {
+    // An unhonorable pin degrades to scalar instead of crashing.
+    EXPECT_EQ(simd::ActiveSimdMode(), simd::SimdMode::kScalar);
+  }
+  simd::ClearForcedSimdMode();
+  EXPECT_STREQ(simd::SimdModeName(simd::SimdMode::kScalar), "scalar");
+  EXPECT_STREQ(simd::SimdModeName(simd::SimdMode::kAvx2), "avx2");
+}
+
+TEST(SimdTest, GatherWithMaxMatchesScalarOnEveryTailLength) {
+  SimdModeGuard guard;
+  Rng rng(7);
+  const int column_size = 500;
+  std::vector<int32_t> column(column_size);
+  for (int32_t& v : column) {
+    v = static_cast<int32_t>(rng.UniformUint64(1 << 20));
+  }
+  column[137] = std::numeric_limits<int32_t>::max();  // max can live anywhere
+  for (int n = 0; n <= 33; ++n) {
+    std::vector<int> rows(n);
+    for (int& r : rows) {
+      r = static_cast<int>(rng.UniformUint64(column_size));  // repeats allowed
+    }
+    std::vector<int32_t> scalar_out(n + 1, -99), simd_out(n + 1, -99);
+    simd::ForceSimdMode(simd::SimdMode::kScalar);
+    const int32_t scalar_max =
+        simd::GatherWithMax(column.data(), rows.data(), n, scalar_out.data());
+    simd::ForceSimdMode(simd::SimdMode::kAvx2);
+    const int32_t simd_max =
+        simd::GatherWithMax(column.data(), rows.data(), n, simd_out.data());
+    EXPECT_EQ(scalar_max, simd_max) << "n=" << n;
+    EXPECT_EQ(scalar_out, simd_out) << "n=" << n;
+    for (int i = 0; i < n; ++i) EXPECT_EQ(scalar_out[i], column[rows[i]]);
+    if (n == 0) {
+      EXPECT_EQ(scalar_max, std::numeric_limits<int32_t>::min());
+    }
+  }
+}
+
+TEST(SimdTest, GatherPackPairsMatchesScalarAndKeyLayout) {
+  SimdModeGuard guard;
+  Rng rng(11);
+  const int column_size = 300;
+  std::vector<int32_t> c1(column_size), c2(column_size);
+  for (int i = 0; i < column_size; ++i) {
+    c1[i] = static_cast<int32_t>(rng.UniformUint64(1 << 16));
+    c2[i] = static_cast<int32_t>(rng.UniformUint64(1 << 16));
+  }
+  for (int n : {0, 1, 7, 8, 9, 15, 16, 17, 64, 100}) {
+    std::vector<int> rows(n);
+    for (int& r : rows) {
+      r = static_cast<int>(rng.UniformUint64(column_size));
+    }
+    std::vector<uint64_t> scalar_out(n, 0), simd_out(n, 0);
+    simd::ForceSimdMode(simd::SimdMode::kScalar);
+    simd::GatherPackPairs(c1.data(), c2.data(), rows.data(), n,
+                          scalar_out.data());
+    simd::ForceSimdMode(simd::SimdMode::kAvx2);
+    simd::GatherPackPairs(c1.data(), c2.data(), rows.data(), n,
+                          simd_out.data());
+    EXPECT_EQ(scalar_out, simd_out) << "n=" << n;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t expected =
+          (static_cast<uint64_t>(static_cast<uint32_t>(c1[rows[i]])) << 32) |
+          static_cast<uint32_t>(c2[rows[i]]);
+      EXPECT_EQ(scalar_out[i], expected) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdrepair

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "engine/block_partitioner.h"
 #include "engine/thread_pool.h"
 #include "graph/bipartite_matching.h"
@@ -30,6 +31,7 @@
 #include "srepair/srepair_exact.h"
 #include "storage/consistency.h"
 #include "storage/distance.h"
+#include "storage/row_span.h"
 #include "workloads/example_fdsets.h"
 #include "workloads/generators.h"
 
@@ -186,6 +188,50 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Range(0, static_cast<int>(AllNamedFdSets().size())),
         ::testing::Values(uint64_t{1009}, uint64_t{1013})));
+
+// The SIMD dispatch matrix: whole-recursion outputs must be bit-identical
+// across {row-major, columnar scalar, columnar AVX2} on every tractable
+// named set. This is the end-to-end companion of the grouping-level oracle
+// in row_span_test.cc — if a kernel or fast path ever drifts, the kept-row
+// sets diverge here.
+TEST(SpanRecursionTest, BitIdenticalAcrossLayoutAndSimdDispatch) {
+  struct DispatchGuard {
+    ~DispatchGuard() {
+      SetGroupingLayout(GroupingLayout::kColumnar);
+      simd::ClearForcedSimdMode();
+    }
+  } guard;
+  Rng rng(5150);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    if (!OsrSucceeds(named.parsed.fds)) continue;
+    RandomTableOptions options;
+    options.num_tuples = 150 + static_cast<int>(rng.UniformUint64(150));
+    options.domain_size = 2 + static_cast<int>(rng.UniformUint64(4));
+    options.heavy_fraction = 0.5;
+    Rng table_rng = rng.Fork();
+    Table table = RandomTable(named.parsed.schema, options, &table_rng);
+    TableView view(table);
+
+    SetGroupingLayout(GroupingLayout::kRowMajor);
+    simd::ForceSimdMode(simd::SimdMode::kScalar);
+    auto row_major = OptSRepairRows(named.parsed.fds, view);
+    ASSERT_TRUE(row_major.ok()) << named.name << ": " << row_major.status();
+
+    SetGroupingLayout(GroupingLayout::kColumnar);
+    auto columnar_scalar = OptSRepairRows(named.parsed.fds, view);
+    ASSERT_TRUE(columnar_scalar.ok()) << named.name;
+    EXPECT_EQ(*columnar_scalar, *row_major)
+        << named.name << ": columnar scalar diverged from row-major";
+
+    simd::ForceSimdMode(simd::SimdMode::kAvx2);
+    auto columnar_simd = OptSRepairRows(named.parsed.fds, view);
+    ASSERT_TRUE(columnar_simd.ok()) << named.name;
+    EXPECT_EQ(*columnar_simd, *row_major)
+        << named.name << ": columnar "
+        << simd::SimdModeName(simd::ActiveSimdMode())
+        << " diverged from row-major";
+  }
+}
 
 // Small instances: the span core is optimal (against brute force), per
 // subroutine family.

@@ -90,6 +90,55 @@ TEST(TableTest, CloneAndSetValue) {
   EXPECT_EQ(table.ValueText(0, 3), "Paris");  // original untouched
 }
 
+// The column-store invariant: Column(a)[r] == value(r, a) after EVERY
+// mutator, including the failure paths. This is the audit for the hybrid
+// layout — a stale column view (columns disagreeing with rows) must be
+// impossible no matter which mutation path ran.
+TEST(TableTest, ColumnStoreStaysInSyncThroughEveryMutator) {
+  Table table = MakeOfficeT();  // AddTupleWithId path
+  EXPECT_TRUE(table.ColumnStoreConsistent());
+  ASSERT_EQ(table.Column(3).size(), 4);
+  EXPECT_EQ(table.Column(3)[1], table.value(1, 3));
+
+  // Failed appends (duplicate id, bad weight, arity mismatch) must leave
+  // both representations untouched.
+  EXPECT_FALSE(table.AddTupleWithId(1, {"a", "b", "c", "d"}, 1).ok());
+  EXPECT_FALSE(table.AddTupleWithId(9, {"a", "b", "c", "d"}, -1).ok());
+  EXPECT_FALSE(table.AddTupleWithId(9, {"a"}, 1).ok());
+  EXPECT_EQ(table.num_tuples(), 4);
+  EXPECT_EQ(table.Column(0).size(), 4);
+  EXPECT_TRUE(table.ColumnStoreConsistent());
+
+  // AddTuple (auto id) path.
+  table.AddTuple({"Lab2", "C1", "2", "Rome"}, 3.0);
+  EXPECT_TRUE(table.ColumnStoreConsistent());
+  EXPECT_EQ(table.Column(0).size(), 5);
+
+  // SetValue (the urepair cell-edit replay path).
+  table.SetValue(2, 3, table.Intern("Lisbon"));
+  EXPECT_EQ(table.Column(3)[2], *table.pool()->Lookup("Lisbon"));
+  EXPECT_TRUE(table.ColumnStoreConsistent());
+
+  // SubsetByRows and Clone build their mirrors from scratch.
+  Table subset = table.SubsetByRows({4, 0, 2});
+  EXPECT_TRUE(subset.ColumnStoreConsistent());
+  EXPECT_EQ(subset.Column(3)[0], table.Column(3)[4]);
+  EXPECT_EQ(subset.Column(3)[2], table.Column(3)[2]);
+  Table clone = table.Clone();
+  EXPECT_TRUE(clone.ColumnStoreConsistent());
+  clone.SetValue(0, 0, clone.Intern("Annex"));
+  EXPECT_TRUE(clone.ColumnStoreConsistent());
+  EXPECT_TRUE(table.ColumnStoreConsistent());  // original untouched
+  EXPECT_NE(clone.Column(0)[0], table.Column(0)[0]);
+
+  // CSV load (TableFromCsv goes through the append paths).
+  std::string csv = TableToCsv(table);
+  auto loaded = TableFromCsv(csv, table.schema().relation_name());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->ColumnStoreConsistent());
+  EXPECT_EQ(loaded->num_tuples(), table.num_tuples());
+}
+
 TEST(TableViewTest, GroupByPartitions) {
   Table table = MakeOfficeT();
   TableView view(table);
