@@ -310,6 +310,28 @@ def self_test():
     assert committed_floor(deep) >= 0.75, deep
     checks += 1
 
+    # The solver-backend gates (bench_prop33 / bench_sec44): the ILP B&B
+    # must keep proving optimality on conflicted cores >= 120 (3x the
+    # historical exact_guard of 40) — min_baseline commits that bar so a
+    # rebase can loosen noise headroom but never the capability itself —
+    # and the LP-rounding certified-ratio limit (what the gate actually
+    # enforces: baseline*(1+threshold)) must stay within the factor-2
+    # a-priori guarantee, so a rebase can never quietly accept a cover
+    # worse than the theory allows.
+    default_threshold = repo_config.get("default_threshold", 0.25)
+    ilp = tracked.get("prop33.ilp_solved_conflicted_tuples")
+    assert ilp is not None, "baselines.json must track the ILP solved-size"
+    assert ilp.get("direction") == "higher", ilp
+    assert ilp.get("min_baseline", 0) >= 120, ilp
+    assert ilp["baseline"] * (
+        1 - ilp.get("threshold", default_threshold)) >= 120, ilp
+    lp = tracked.get("sec44.lp_rounding_worst_ratio")
+    assert lp is not None, "baselines.json must track the LP-rounding ratio"
+    assert lp.get("direction") == "lower", lp
+    assert lp["baseline"] * (
+        1 + lp.get("threshold", default_threshold)) <= 2.0 + 1e-9, lp
+    checks += 1
+
     # Rebase applies headroom (2x for lower, 0.8x for higher) but never
     # lowers a 'higher' baseline below its committed min_baseline.
     with tempfile.TemporaryDirectory() as tmp:

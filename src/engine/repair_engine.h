@@ -13,10 +13,11 @@
 //     regardless of the thread count;
 //   - per-job deadlines: an expired job reports kDeadlineExceeded and
 //     never leaks tasks — RepairBatch joins all work before returning.
-//     The deadline is checked at admission for every route, and
-//     additionally at every recursion node on the OptSRepair route; the
-//     exact branch-and-bound and 2-approx routes for APX-hard sets do NOT
-//     check mid-search (see planner.h), so their jobs can finish late;
+//     The deadline is cooperative on every route: checked at admission, at
+//     every recursion node on the OptSRepair route, and during node
+//     expansion inside the hard-side search backends, which degrade to
+//     their incumbent (kAuto) or kDeadlineExceeded (kExactOnly) instead of
+//     overshooting (see planner.h and srepair/solver_backend.h);
 //   - no cross-job interference: jobs read their own tables only; blocks
 //     within a job share the parent table read-only (see storage/table.h).
 

@@ -21,17 +21,21 @@ const char* RepairModeName(RepairMode mode) {
 }
 
 /// The canonical request key: mode, canonical cover (as lhs-bitmask/rhs
-/// pairs — attribute names are bound to those positions by the table hash)
-/// and the full table content.
-uint64_t RequestKey(RepairMode mode, const FdSet& cover, const Table& table) {
+/// pairs — attribute names are bound to those positions by the table hash),
+/// the full table content, and the solver knobs (backend, max_ratio) — two
+/// requests that may be answered by different solvers must never share an
+/// entry.
+uint64_t RequestKey(const RepairRequest& request, const FdSet& cover) {
   StableHasher hasher;
-  hasher.MixUint64(static_cast<uint64_t>(mode));
+  hasher.MixUint64(static_cast<uint64_t>(request.mode));
   hasher.MixUint64(static_cast<uint64_t>(cover.size()));
   for (const Fd& fd : cover.fds()) {
     hasher.MixUint64(fd.lhs.bits());
     hasher.MixInt64(fd.rhs);
   }
-  hasher.MixUint64(TableContentHash(table));
+  hasher.MixUint64(TableContentHash(*request.table));
+  hasher.MixString(request.backend);
+  hasher.MixDouble(request.max_ratio);
   return hasher.digest();
 }
 
@@ -128,11 +132,15 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     return Status::DeadlineExceeded("deadline expired before execution");
   }
   if (request.mode == RepairMode::kSubset) {
+    // Per-request solver knobs override the service-wide configuration.
+    SRepairOptions srepair = options_.srepair;
+    if (!request.backend.empty()) srepair.backend = request.backend;
+    if (request.max_ratio > 0) srepair.max_ratio = request.max_ratio;
     StatusOr<SRepairResult> result = Status::Internal("never ran");
     if (request.threads == 1) {
       // Sequential hint: run on the calling thread, no block fan-out. The
       // engine guarantees bit-identical results either way.
-      SRepairOptions options = options_.srepair;
+      SRepairOptions options = srepair;
       options.exec.pool = nullptr;
       if (deadline) options.exec.deadline = *deadline;
       result = ComputeSRepair(cover, table, options);
@@ -140,7 +148,7 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
       RepairJob job;
       job.fds = cover;
       job.table = &table;
-      job.options = options_.srepair;
+      job.options = srepair;
       if (deadline) {
         job.deadline = std::chrono::duration_cast<std::chrono::milliseconds>(
             *deadline - Clock::now());
@@ -156,6 +164,9 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     cached.optimal = result->optimal;
     cached.ratio_bound = result->ratio_bound;
     cached.route = SRepairAlgorithmToString(result->algorithm);
+    cached.backend = result->backend;
+    cached.lower_bound = result->lower_bound;
+    cached.achieved_ratio = result->achieved_ratio;
     return cached;
   }
   // Update repairs: the U-planner has no cooperative mid-search
@@ -195,9 +206,15 @@ StatusOr<RepairResponse> RepairService::Replay(const CachedRepair& cached,
       FDR_ASSIGN_OR_RETURN(int row, table.RowOf(id));
       rows.push_back(row);
     }
-    RepairResponse response{table.SubsetByRows(rows), cached.distance,
-                            cached.optimal,           cached.ratio_bound,
-                            cached.route,             cache_hit,
+    RepairResponse response{table.SubsetByRows(rows),
+                            cached.distance,
+                            cached.optimal,
+                            cached.ratio_bound,
+                            cached.route,
+                            cached.backend,
+                            cached.lower_bound,
+                            cached.achieved_ratio,
+                            cache_hit,
                             key};
     return response;
   }
@@ -206,9 +223,15 @@ StatusOr<RepairResponse> RepairService::Replay(const CachedRepair& cached,
     FDR_ASSIGN_OR_RETURN(int row, table.RowOf(edit.id));
     update.SetValue(row, edit.attr, update.Intern(edit.text));
   }
-  RepairResponse response{std::move(update), cached.distance,
-                          cached.optimal,    cached.ratio_bound,
-                          cached.route,      cache_hit,
+  RepairResponse response{std::move(update),
+                          cached.distance,
+                          cached.optimal,
+                          cached.ratio_bound,
+                          cached.route,
+                          cached.backend,
+                          cached.lower_bound,
+                          cached.achieved_ratio,
+                          cache_hit,
                           key};
   return response;
 }
@@ -253,8 +276,13 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   }
   const std::optional<Clock::time_point> deadline =
       AbsoluteDeadline(request, admitted);
+  if (request.mode == RepairMode::kUpdate &&
+      (!request.backend.empty() || request.max_ratio > 0)) {
+    return Status::InvalidArgument(
+        "backend selection and max_ratio apply to subset repairs only");
+  }
   const FdSet cover = request.fds.CanonicalCover();
-  const uint64_t key = RequestKey(request.mode, cover, *request.table);
+  const uint64_t key = RequestKey(request, cover);
 
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);

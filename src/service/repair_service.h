@@ -80,6 +80,14 @@ struct RepairRequest {
   /// Skip the cache entirely (no lookup, no store, no dedup). Admission
   /// control still applies. Used by benches to measure cold latency.
   bool bypass_cache = false;
+  /// Subset mode only: hard-side solver backend by registry name
+  /// ("local-ratio", "bnb", "ilp", "lp-rounding", ...). Empty defers to
+  /// the service's configured SRepairOptions. Part of the cache key, so
+  /// responses produced by different solvers never alias.
+  std::string backend;
+  /// Subset mode only: reject results whose certified ratio exceeds this
+  /// (see SRepairOptions::max_ratio). 0 disables the gate. Also keyed.
+  double max_ratio = 0;
 };
 
 struct RepairResponse {
@@ -92,6 +100,13 @@ struct RepairResponse {
   double ratio_bound = 1;
   /// Human-readable route ("OptSRepair", "urepair[consensus-plurality]"...).
   std::string route;
+  /// Solver provenance for subset repairs: the backend registry name
+  /// (empty on the polynomial route and for update repairs), the proved
+  /// lower bound on the optimal distance, and the certified ratio
+  /// distance / lower_bound (see SRepairResult).
+  std::string backend;
+  double lower_bound = 0;
+  double achieved_ratio = 1;
   /// True when this response was replayed from the cache (including
   /// single-flight followers); false when this call ran the planner.
   bool cache_hit = false;
@@ -173,6 +188,9 @@ class RepairService {
     bool optimal = false;
     double ratio_bound = 1;
     std::string route;
+    std::string backend;
+    double lower_bound = 0;
+    double achieved_ratio = 1;
   };
 
   /// One cache slot; exists from first request until eviction. `ready`

@@ -3,9 +3,18 @@
 // Like a query planner, it first classifies (Schema, ∆) — the dichotomy of
 // Theorem 3.4, with the full simplification trace and, on the hard side, the
 // Figure-2 class — then picks an execution route:
-//   polynomial side  -> OptSRepair (optimal);
-//   hard side, small -> exact branch & bound (optimal, exponential);
-//   hard side, large -> local-ratio vertex cover (2-optimal, Prop 3.3).
+//   polynomial side -> OptSRepair (optimal);
+//   hard side       -> a SolverBackend (srepair/solver_backend.h) working
+//                      the Proposition-3.3 vertex-cover reduction.
+//
+// Hard-side backends are selected through the registry: explicitly via
+// SRepairOptions::backend, or implicitly by the strategy — kAuto runs the
+// exact branch and bound up to `exact_guard` conflicted tuples and the
+// ILP-style branch and bound (budgeted, degrading to a 2-approximate
+// incumbent) beyond; kExactOnly insists on a proved optimum; kApproxOnly
+// always takes the fused local-ratio route. Every result carries solver
+// provenance: the backend name, a proved lower bound on the optimal
+// distance, and the achieved ratio certified by that bound.
 
 #ifndef FDREPAIR_SREPAIR_PLANNER_H_
 #define FDREPAIR_SREPAIR_PLANNER_H_
@@ -36,24 +45,44 @@ struct SRepairVerdict {
 /// Classifies ∆ (Theorem 3.4 + Figure 2). Pure function of the FD set.
 SRepairVerdict ClassifySRepair(const FdSet& fds);
 
-/// Execution strategy selection.
+/// Execution strategy selection. Strategies are aliases over the solver
+/// registry; SRepairOptions::backend overrides the hard-side choice.
 enum class SRepairStrategy {
-  /// OptSRepair when polynomial, else exact if small enough, else approx.
+  /// OptSRepair when polynomial; on the hard side, exact branch and bound
+  /// up to `exact_guard` conflicted tuples, then the budgeted ILP branch
+  /// and bound (its incumbent — still within factor 2 — is returned when
+  /// the budget or deadline expires before optimality is proved).
   kAuto,
-  /// Insist on an optimum (fails on large hard instances).
+  /// Insist on a proved optimum: fails with kResourceExhausted when the
+  /// node budget runs out first, kDeadlineExceeded when the deadline does.
   kExactOnly,
-  /// Always run the 2-approximation (even on the polynomial side).
+  /// Always run the fused local-ratio 2-approximation (even on the
+  /// polynomial side).
   kApproxOnly,
 };
 
 struct SRepairOptions {
   SRepairStrategy strategy = SRepairStrategy::kAuto;
-  /// kAuto falls back from exact to approximate above this many conflicted
-  /// tuples on the hard side.
+  /// kAuto upgrades from the plain exact branch and bound to the
+  /// LP-guided ILP backend above this many conflicted tuples.
   int exact_guard = 40;
-  /// Thread pool + deadline for the OptSRepair route (see opt_srepair.h).
-  /// The exact and approximate routes only honor exec.deadline at entry
-  /// (admission control), not mid-search.
+  /// Hard-side solver backend by registry name ("local-ratio", "bnb",
+  /// "ilp", "lp-rounding", or an externally registered one). Empty: the
+  /// strategy picks. Unknown names fail with kInvalidArgument.
+  std::string backend;
+  /// Branch-node budget for the search backends; < 0 lets the planner
+  /// choose (unlimited, except for kAuto's ILP fallback which self-limits
+  /// so oversized instances degrade to the incumbent instead of hanging).
+  long node_budget = -1;
+  /// When > 0: fail with kResourceExhausted unless the result's proved
+  /// ratio_bound is at most this (e.g. 1.0 demands a certified optimum,
+  /// 1.1 accepts a certified 10% gap). 0 disables the check.
+  double max_ratio = 0;
+  /// Thread pool + deadline for all routes (see opt_srepair.h). The
+  /// deadline is cooperative everywhere: OptSRepair checks it at every
+  /// recursion node, and the search backends check it during node
+  /// expansion, degrading to their incumbent (kAuto) or to
+  /// kDeadlineExceeded (kExactOnly) instead of overshooting.
   OptSRepairExec exec;
 };
 
@@ -61,7 +90,9 @@ struct SRepairOptions {
 enum class SRepairAlgorithm {
   kOptSRepair,
   kExactBranchAndBound,
+  kIlpBranchAndBound,
   kVertexCover2Approx,
+  kLpRounding,
 };
 
 const char* SRepairAlgorithmToString(SRepairAlgorithm algorithm);
@@ -72,9 +103,18 @@ struct SRepairResult {
   double distance = 0;
   /// True iff `repair` is provably an *optimal* S-repair.
   bool optimal = false;
-  /// Upper bound on distance / optimal distance (1 when optimal, else 2).
+  /// A-priori upper bound on distance / optimal distance (1 when optimal).
   double ratio_bound = 1;
   SRepairAlgorithm algorithm = SRepairAlgorithm::kOptSRepair;
+  /// Solver provenance: the registry name of the backend that produced the
+  /// repair (empty on the polynomial OptSRepair route).
+  std::string backend;
+  /// Proved lower bound on the optimal distance (equals `distance` when
+  /// optimal; the dual packing or LP value otherwise).
+  double lower_bound = 0;
+  /// distance / lower_bound — the per-instance certified ratio, usually
+  /// far below ratio_bound (1 when optimal).
+  double achieved_ratio = 1;
   SRepairVerdict verdict;
 };
 

@@ -1,0 +1,139 @@
+#include "srepair/solver_backend.h"
+
+#include <mutex>
+#include <utility>
+
+#include "graph/vc_lp.h"
+#include "graph/vertex_cover.h"
+#include "srepair/srepair_vc_approx.h"
+
+namespace fdrepair {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// "local-ratio": Bar-Yehuda–Even on the explicit graph, or — preferred by
+/// the planner — the fused table-level route that never materializes the
+/// Θ(n²) edge set. Both report the local-ratio burn (a feasible edge
+/// packing) as the proved lower bound.
+class LocalRatioBackend : public SolverBackend {
+ public:
+  const char* name() const override { return kSolverLocalRatio; }
+  bool exact() const override { return false; }
+
+  StatusOr<SolverCover> SolveCover(const NodeWeightedGraph& graph,
+                                   const SolverExec& exec) const override {
+    (void)exec;  // one O(n + m) pass; nothing to interrupt
+    std::vector<int> order(graph.num_edges());
+    for (int i = 0; i < graph.num_edges(); ++i) order[i] = i;
+    SolverCover out;
+    out.cover = VertexCoverLocalRatio(graph, order, &out.lower_bound);
+    out.weight = graph.WeightOf(out.cover);
+    out.optimal = out.weight <= out.lower_bound + kEps;
+    out.ratio_bound = out.optimal ? 1.0 : 2.0;
+    return out;
+  }
+
+  bool has_fused_rows() const override { return true; }
+
+  StatusOr<std::vector<int>> SolveRowsFused(
+      const FdSet& fds, const TableView& view, const SolverExec& exec,
+      double* lower_bound) const override {
+    (void)exec;
+    return SRepairVcApproxRows(fds, view, lower_bound);
+  }
+};
+
+/// "bnb": the classic prune-on-weight branch and bound, now cooperative.
+/// Exact when it completes; on deadline/budget expiry it returns the
+/// incumbent with the root dual-ascent packing as the proved lower bound.
+class BnbBackend : public SolverBackend {
+ public:
+  const char* name() const override { return kSolverBnb; }
+  bool exact() const override { return true; }
+
+  StatusOr<SolverCover> SolveCover(const NodeWeightedGraph& graph,
+                                   const SolverExec& exec) const override {
+    VcSearchLimits limits;
+    limits.deadline = exec.deadline;
+    limits.node_budget = exec.node_budget;
+    VcSearchResult search = MinWeightVertexCoverBnb(graph, limits);
+    SolverCover out;
+    out.cover = std::move(search.cover);
+    out.weight = search.weight;
+    out.nodes = search.nodes;
+    out.optimal = search.optimal;
+    if (search.optimal) {
+      out.lower_bound = search.weight;
+      out.ratio_bound = 1.0;
+    } else {
+      out.lower_bound = VcDualAscentBound(graph);
+      // The incumbent may be far from optimal (it starts at the trivial
+      // cover); the only proved guarantee is weight / lower_bound.
+      out.ratio_bound = out.lower_bound > kEps && out.weight > kEps
+                            ? out.weight / out.lower_bound
+                            : 1.0;
+    }
+    return out;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  /// Owned backends in registration order; in-tree ones first.
+  std::vector<std::unique_ptr<SolverBackend>> backends;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    r->backends.push_back(std::make_unique<LocalRatioBackend>());
+    r->backends.push_back(std::make_unique<BnbBackend>());
+    r->backends.push_back(MakeIlpBnbBackend());
+    r->backends.push_back(MakeLpRoundingBackend());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> SolverBackend::SolveRowsFused(
+    const FdSet& fds, const TableView& view, const SolverExec& exec,
+    double* lower_bound) const {
+  (void)fds;
+  (void)view;
+  (void)exec;
+  (void)lower_bound;
+  return Status::Internal(std::string("backend ") + name() +
+                          " has no fused table-level route");
+}
+
+const SolverBackend* FindSolverBackend(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  // Later registrations win, so externally-registered overrides shadow the
+  // in-tree backend of the same name.
+  for (auto it = registry.backends.rbegin(); it != registry.backends.rend();
+       ++it) {
+    if (name == (*it)->name()) return it->get();
+  }
+  return nullptr;
+}
+
+std::vector<const SolverBackend*> AllSolverBackends() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<const SolverBackend*> out;
+  out.reserve(registry.backends.size());
+  for (const auto& backend : registry.backends) out.push_back(backend.get());
+  return out;
+}
+
+void RegisterSolverBackend(std::unique_ptr<SolverBackend> backend) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.backends.push_back(std::move(backend));
+}
+
+}  // namespace fdrepair

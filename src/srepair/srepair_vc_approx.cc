@@ -106,6 +106,12 @@ std::vector<int> RestoreConsistentRows(const FdSet& fds, const TableView& view,
 }
 
 std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view) {
+  return SRepairVcApproxRows(fds, view, nullptr);
+}
+
+std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view,
+                                     double* dual_lower_bound) {
+  double packed = 0;  // total local-ratio burn: a feasible edge packing
   // residual[i] tracks the local-ratio budget of view row i.
   std::vector<double> residual(view.num_tuples());
   for (int i = 0; i < view.num_tuples(); ++i) residual[i] = view.weight(i);
@@ -213,9 +219,11 @@ std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view) {
         const double delta = std::min(residual[u], residual[v]);
         residual[u] -= delta;
         residual[v] -= delta;
+        packed += delta;
       }
     }
   }
+  if (dual_lower_bound != nullptr) *dual_lower_bound = packed;
   std::vector<int> kept;
   for (int i = 0; i < view.num_tuples(); ++i) {
     if (alive(i)) kept.push_back(view.row(i));

@@ -28,6 +28,12 @@ namespace fdrepair {
 
 /// Fused local-ratio 2-approximation; returns kept dense row positions in
 /// increasing order. Works for every FD set (both dichotomy sides).
+/// When `dual_lower_bound` is non-null it receives the total local-ratio
+/// burn — a feasible fractional edge packing of the conflict graph, hence
+/// a lower bound on the optimal deletion weight (the LP-duality half of
+/// the factor-2 guarantee). The achieved distance is at most twice it.
+std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view,
+                                     double* dual_lower_bound);
 std::vector<int> SRepairVcApproxRows(const FdSet& fds, const TableView& view);
 
 /// Explicit conflict-graph route with a caller-supplied edge processing

@@ -11,6 +11,7 @@
 #include "catalog/fd_parser.h"
 #include "service/repair_service.h"
 #include "srepair/planner.h"
+#include "srepair/solver_backend.h"
 #include "storage/table_hash.h"
 #include "storage/table_io.h"
 #include "urepair/planner.h"
@@ -431,6 +432,105 @@ TEST(RepairServiceTest, FollowerDoesNotInheritLeaderDeadlineFailure) {
   auto direct = ComputeSRepair(parsed.fds, table);
   ASSERT_TRUE(direct.ok()) << direct.status();
   ExpectSameRepair(direct->repair, patient->repair);
+}
+
+TEST(RepairServiceTest, BackendSelectionRoundTripsAndKeysTheCache) {
+  // The 3-way A->B violation clique: any repair keeps one tuple. The exact
+  // backends prove distance 2; the fused local-ratio route certifies only
+  // the a-priori factor 2 against its packing bound of 1.
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x", "p"});
+  table.AddTuple({"a", "y", "q"});
+  table.AddTuple({"a", "z", "r"});
+  RepairService service;
+
+  RepairRequest exact = Request(RepairMode::kSubset, parsed.fds, &table);
+  exact.backend = kSolverIlp;
+  auto miss = service.Serve(exact);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->cache_hit);
+  EXPECT_EQ(miss->backend, kSolverIlp);
+  EXPECT_EQ(miss->route, "ilp-branch-and-bound");
+  EXPECT_TRUE(miss->optimal);
+  EXPECT_DOUBLE_EQ(miss->distance, 2.0);
+  EXPECT_DOUBLE_EQ(miss->lower_bound, 2.0);
+  EXPECT_DOUBLE_EQ(miss->achieved_ratio, 1.0);
+
+  // The cached replay carries the full solver provenance.
+  auto hit = service.Serve(exact);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->cache_key, miss->cache_key);
+  EXPECT_EQ(hit->backend, miss->backend);
+  EXPECT_EQ(hit->lower_bound, miss->lower_bound);
+  EXPECT_EQ(hit->achieved_ratio, miss->achieved_ratio);
+  ExpectSameRepair(miss->repair, hit->repair);
+
+  // Same table, different backend: a distinct key, never an aliased hit.
+  RepairRequest approx = Request(RepairMode::kSubset, parsed.fds, &table);
+  approx.backend = kSolverLocalRatio;
+  auto other = service.Serve(approx);
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_FALSE(other->cache_hit);
+  EXPECT_NE(other->cache_key, miss->cache_key);
+  EXPECT_EQ(other->backend, kSolverLocalRatio);
+  EXPECT_FALSE(other->optimal);
+  EXPECT_DOUBLE_EQ(other->ratio_bound, 2.0);
+  EXPECT_DOUBLE_EQ(other->lower_bound, 1.0);
+  EXPECT_DOUBLE_EQ(other->achieved_ratio, 2.0);
+  EXPECT_EQ(service.stats().misses, 2u);
+}
+
+TEST(RepairServiceTest, MaxRatioGateSurfacesAndIsKeyedSeparately) {
+  ParsedFdSet parsed = DeltaAtoBtoC();
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x", "p"});
+  table.AddTuple({"a", "y", "q"});
+  table.AddTuple({"a", "z", "r"});
+  RepairService service;
+
+  // The fused approx route certifies only ratio 2 here, so a 1.5 gate
+  // rejects with kResourceExhausted — surfaced verbatim by the service.
+  RepairRequest gated = Request(RepairMode::kSubset, parsed.fds, &table);
+  gated.backend = kSolverLocalRatio;
+  gated.max_ratio = 1.5;
+  auto rejected = service.Serve(gated);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // The failure was not cached, and the ungated request has its own key:
+  // it executes and succeeds.
+  RepairRequest ungated = Request(RepairMode::kSubset, parsed.fds, &table);
+  ungated.backend = kSolverLocalRatio;
+  auto accepted = service.Serve(ungated);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_FALSE(accepted->cache_hit);
+
+  // An exact backend passes the same gate (certified ratio 1).
+  RepairRequest exact_gated = Request(RepairMode::kSubset, parsed.fds, &table);
+  exact_gated.backend = kSolverBnb;
+  exact_gated.max_ratio = 1.5;
+  auto proved = service.Serve(exact_gated);
+  ASSERT_TRUE(proved.ok()) << proved.status();
+  EXPECT_TRUE(proved->optimal);
+  EXPECT_EQ(proved->backend, kSolverBnb);
+}
+
+TEST(RepairServiceTest, SolverKnobsRejectedForUpdateMode) {
+  ParsedFdSet parsed = OfficeFds();
+  Table table = ScalingFamilyTable(parsed, 50, 67);
+  RepairService service;
+
+  RepairRequest with_backend = Request(RepairMode::kUpdate, parsed.fds, &table);
+  with_backend.backend = kSolverIlp;
+  EXPECT_EQ(service.Serve(with_backend).status().code(),
+            StatusCode::kInvalidArgument);
+
+  RepairRequest with_ratio = Request(RepairMode::kUpdate, parsed.fds, &table);
+  with_ratio.max_ratio = 1.5;
+  EXPECT_EQ(service.Serve(with_ratio).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(RepairServiceTest, InvalidateCacheForcesRecomputation) {
