@@ -8,6 +8,7 @@
 //                        [--clients=C] [--mode=subset|update|mixed]
 //                        [--capacity=N] [--seed=S]
 //                        [--backend=NAME] [--max-ratio=R]
+//                        [--mutation-rate=M]
 //
 //   --requests   length of the replayed log           (default 200)
 //   --repeat     probability a request re-sends a previously seen
@@ -23,6 +24,15 @@
 //                default: planner auto-routing)
 //   --max-ratio  reject subset repairs certified only above this
 //                ratio (default 0 = no gate)
+//   --mutation-rate  fraction of an instance's rows edited before each
+//                repeated request (default 0 = tables never change;
+//                subset mode only). Repeats are then served through
+//                RepairService::ApplyDelta with a chained TableDelta, and
+//                every delta request is shadowed by a bypass_cache full
+//                re-plan of the identical mutated state, so the summary
+//                can print the delta-hit (splice) ratio and the measured
+//                delta-over-full speedup. See docs/ARCHITECTURE.md,
+//                "Caching & invalidation semantics".
 //
 // Exits non-zero if any request fails for a reason other than the
 // admission-control rejections this demo is meant to surface.
@@ -30,6 +40,8 @@
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +49,7 @@
 #include "common/random.h"
 #include "common/strings.h"
 #include "service/repair_service.h"
+#include "storage/table_delta.h"
 #include "workloads/example_fdsets.h"
 #include "workloads/generators.h"
 
@@ -47,7 +60,8 @@ namespace {
 int Usage() {
   std::cerr << "usage: repair_server_replay [--requests=N] [--repeat=R] "
                "[--rows=N] [--clients=C] [--mode=subset|update|mixed] "
-               "[--capacity=N] [--seed=S] [--backend=NAME] [--max-ratio=R]\n";
+               "[--capacity=N] [--seed=S] [--backend=NAME] [--max-ratio=R] "
+               "[--mutation-rate=M (subset mode only)]\n";
   return 2;
 }
 
@@ -61,6 +75,18 @@ struct Args {
   uint64_t seed = 1;
   std::string backend;
   double max_ratio = 0;
+  double mutation_rate = 0;
+};
+
+/// Per-instance mutable state for --mutation-rate: the DeltaBuilder owns the
+/// instance's evolving table and the delta chain; the mutex serializes the
+/// (mutate, ApplyDelta, shadow re-plan) sequence per instance — concurrent
+/// clients still overlap freely across *different* instances, which is the
+/// contention pattern a sharded deployment sees.
+struct MutableInstance {
+  std::mutex mu;
+  std::unique_ptr<DeltaBuilder> builder;
+  bool primed = false;
 };
 
 bool ParseInt(const std::string& text, long long* out) {
@@ -96,11 +122,19 @@ int main(int argc, char** argv) {
       args.backend = arg.substr(10);
     } else if (StartsWith(arg, "--max-ratio=")) {
       args.max_ratio = std::atof(arg.substr(12).c_str());
+    } else if (StartsWith(arg, "--mutation-rate=")) {
+      args.mutation_rate = std::atof(arg.substr(16).c_str());
     } else {
       return Usage();
     }
   }
   if (args.mode != "subset" && args.mode != "update" && args.mode != "mixed") {
+    return Usage();
+  }
+  if (args.mutation_rate < 0 || args.mutation_rate > 1 ||
+      (args.mutation_rate > 0 && args.mode != "subset")) {
+    std::cerr << "--mutation-rate wants a fraction in [0, 1] and "
+                 "--mode=subset (the delta path is subset-only)\n";
     return Usage();
   }
 
@@ -142,12 +176,25 @@ int main(int argc, char** argv) {
   RepairService service(options);
 
   // Replay: client c serves log entries c, c+clients, c+2*clients, ...
+  // Under --mutation-rate, a repeated instance is first edited (that
+  // fraction of its rows), then served through ApplyDelta, then shadowed
+  // by a bypass_cache full re-plan of the same mutated state — the two
+  // timings below are what the summary's speedup line compares.
+  std::vector<MutableInstance> instances(
+      args.mutation_rate > 0 ? tables.size() : 0);
+  const int edits_per_repeat =
+      std::max(1, static_cast<int>(args.mutation_rate * args.rows));
+  const int domain = std::max(4, args.rows / 16);
   std::atomic<int> failures{0};
   std::atomic<long> served{0};
+  std::atomic<int64_t> delta_ns{0};
+  std::atomic<int64_t> full_ns{0};
+  std::atomic<long> shadowed{0};
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (int c = 0; c < args.clients; ++c) {
     clients.emplace_back([&, c] {
+      Rng edit_rng(args.seed * 6271 + c);
       for (size_t r = c; r < log.size(); r += args.clients) {
         RepairRequest request;
         request.mode = mode_of(log[r]);
@@ -157,13 +204,73 @@ int main(int argc, char** argv) {
           request.backend = args.backend;
           request.max_ratio = args.max_ratio;
         }
-        auto response = service.Serve(request);
+        std::unique_lock<std::mutex> instance_lock;
+        TableDelta delta;
+        bool timed_delta = false;
+        if (args.mutation_rate > 0) {
+          MutableInstance& instance = instances[log[r]];
+          instance_lock = std::unique_lock<std::mutex>(instance.mu);
+          if (!instance.builder) {
+            instance.builder = std::make_unique<DeltaBuilder>(tables[log[r]]);
+          }
+          if (instance.primed) {
+            DeltaBuilder& builder = *instance.builder;
+            for (int e = 0; e < edits_per_repeat; ++e) {
+              const int row = static_cast<int>(
+                  edit_rng.UniformIndex(builder.table().num_tuples()));
+              const TupleId id = builder.table().id(row);
+              const AttrId attr = static_cast<AttrId>(
+                  edit_rng.UniformIndex(builder.table().schema().arity()));
+              if (!builder
+                       .Update(id, attr,
+                               "v" + std::to_string(
+                                         edit_rng.UniformInt(0, domain - 1)))
+                       .ok()) {
+                failures.fetch_add(1);
+                continue;
+              }
+            }
+            delta = builder.Finish();
+            request.delta = &delta;
+            timed_delta = true;
+          }
+          request.table = &instance.builder->table();
+        }
+        auto request_start = std::chrono::steady_clock::now();
+        auto response = timed_delta ? service.ApplyDelta(request)
+                                    : service.Serve(request);
+        auto request_end = std::chrono::steady_clock::now();
         if (response.ok()) {
           served.fetch_add(1);
+          if (args.mutation_rate > 0) instances[log[r]].primed = true;
         } else {
           failures.fetch_add(1);
           std::cerr << "request " << r << " failed: " << response.status()
                     << "\n";
+        }
+        if (timed_delta) {
+          delta_ns.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  request_end - request_start)
+                  .count());
+          // Shadow re-plan: the same mutated state, cache bypassed.
+          RepairRequest cold = request;
+          cold.delta = nullptr;
+          cold.bypass_cache = true;
+          auto cold_start = std::chrono::steady_clock::now();
+          auto replanned = service.Serve(cold);
+          auto cold_end = std::chrono::steady_clock::now();
+          if (replanned.ok()) {
+            full_ns.fetch_add(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    cold_end - cold_start)
+                    .count());
+            shadowed.fetch_add(1);
+          } else {
+            failures.fetch_add(1);
+            std::cerr << "shadow re-plan for request " << r
+                      << " failed: " << replanned.status() << "\n";
+          }
         }
       }
     });
@@ -187,6 +294,33 @@ int main(int argc, char** argv) {
             << " resident entries\n"
             << "rejections: " << stats.rejected_deadline << " deadline, "
             << stats.rejected_unavailable << " unavailable\n";
+
+  if (args.mutation_rate > 0) {
+    const double delta_total = static_cast<double>(stats.delta_requests);
+    const double splice_ratio =
+        delta_total > 0 ? stats.delta_splices / delta_total : 0;
+    const uint64_t blocks = stats.delta_blocks_clean + stats.delta_blocks_dirty;
+    const double clean_ratio =
+        blocks > 0 ? static_cast<double>(stats.delta_blocks_clean) /
+                         static_cast<double>(blocks)
+                   : 0;
+    const long shadows = shadowed.load();
+    const double delta_us =
+        shadows > 0 ? delta_ns.load() / 1e3 / shadows : 0;
+    const double full_us = shadows > 0 ? full_ns.load() / 1e3 / shadows : 0;
+    std::cout << "delta (mutation rate " << FormatDouble(args.mutation_rate, 4)
+              << ", " << edits_per_repeat << " edits/repeat): "
+              << stats.delta_requests << " delta requests, "
+              << stats.delta_splices << " spliced / "
+              << stats.delta_full_replans << " full re-plans (delta-hit ratio "
+              << FormatDouble(splice_ratio, 4) << ", clean-block ratio "
+              << FormatDouble(clean_ratio, 4) << ")\n"
+              << "delta timing: " << FormatDouble(delta_us, 4)
+              << " us/request vs " << FormatDouble(full_us, 4)
+              << " us bypass_cache re-plan  ("
+              << FormatDouble(delta_us > 0 ? full_us / delta_us : 0, 4)
+              << "x speedup, " << shadows << " shadow re-plans)\n";
+  }
 
   // One post-replay probe against instance 0 shows the solver provenance
   // the cache replays: route + backend + proved lower bound + certified

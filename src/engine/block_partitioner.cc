@@ -1,5 +1,6 @@
 #include "engine/block_partitioner.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
@@ -42,6 +43,22 @@ BlockPartition PartitionForMarriage(const TableView& view, AttrSet x1,
 void PartitionSpanByAttrs(RowSpan span, AttrSet attrs, GroupScratch* scratch,
                           std::vector<int>* group_ends) {
   scratch->GroupInPlace(span, attrs, group_ends);
+}
+
+void BaseBlockIndex::Add(const std::vector<TupleId>& ids) {
+  const int block = num_blocks();
+  blocks_.push_back(&ids);
+  if (!ids.empty()) block_of_first_id_.emplace(ids.front(), block);
+}
+
+int BaseBlockIndex::Match(const TupleId* ids, int n) const {
+  if (n == 0) return -1;
+  auto it = block_of_first_id_.find(ids[0]);
+  if (it == block_of_first_id_.end()) return -1;
+  const std::vector<TupleId>& base = *blocks_[it->second];
+  if (static_cast<int>(base.size()) != n) return -1;
+  if (!std::equal(base.begin(), base.end(), ids)) return -1;
+  return it->second;
 }
 
 void PartitionSpanForMarriage(RowSpan span, AttrSet x1, AttrSet x2,

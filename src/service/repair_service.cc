@@ -22,10 +22,15 @@ const char* RepairModeName(RepairMode mode) {
 
 /// The canonical request key: mode, canonical cover (as lhs-bitmask/rhs
 /// pairs — attribute names are bound to those positions by the table hash),
-/// the full table content, and the solver knobs (backend, max_ratio) — two
-/// requests that may be answered by different solvers must never share an
-/// entry.
-uint64_t RequestKey(const RepairRequest& request, const FdSet& cover) {
+/// the table state identity, and the solver knobs (backend, max_ratio) —
+/// two requests that may be answered by different solvers must never share
+/// an entry. `table_hash` is TableContentHash for ordinary requests and
+/// the delta chain hash for delta requests (see storage/table_delta.h for
+/// why the two identities deliberately differ); both flow through the same
+/// key structure, which is what lets a first delta's base_hash find the
+/// base table's cold entry.
+uint64_t RequestKey(const RepairRequest& request, const FdSet& cover,
+                    uint64_t table_hash) {
   StableHasher hasher;
   hasher.MixUint64(static_cast<uint64_t>(request.mode));
   hasher.MixUint64(static_cast<uint64_t>(cover.size()));
@@ -33,7 +38,7 @@ uint64_t RequestKey(const RepairRequest& request, const FdSet& cover) {
     hasher.MixUint64(fd.lhs.bits());
     hasher.MixInt64(fd.rhs);
   }
-  hasher.MixUint64(TableContentHash(*request.table));
+  hasher.MixUint64(table_hash);
   hasher.MixString(request.backend);
   hasher.MixDouble(request.max_ratio);
   return hasher.digest();
@@ -124,7 +129,9 @@ void RepairService::ReleaseExecSlot() {
 
 StatusOr<RepairService::CachedRepair> RepairService::Execute(
     const RepairRequest& request, const FdSet& cover,
-    const std::optional<Clock::time_point>& deadline) {
+    const std::optional<Clock::time_point>& deadline,
+    const SRepairPlanCache* delta_base, SRepairSpliceStats* splice,
+    std::optional<Table>* materialized) {
   const Table& table = *request.table;
   CachedRepair cached;
   cached.mode = request.mode;
@@ -136,6 +143,17 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     SRepairOptions srepair = options_.srepair;
     if (!request.backend.empty()) srepair.backend = request.backend;
     if (request.max_ratio > 0) srepair.max_ratio = request.max_ratio;
+    // Capture the run's top-level plan so later deltas of this state can
+    // splice; when this run IS a delta with a live base plan, splice it.
+    // The planner only honors these on the polynomial route — explicit
+    // backends and hard instances carry no plan and always re-solve.
+    auto plan = std::make_shared<SRepairPlanCache>();
+    srepair.capture = plan.get();
+    if (request.delta != nullptr && delta_base != nullptr) {
+      srepair.delta_base = delta_base;
+      srepair.delta_updated_ids = &request.delta->updated;
+      srepair.splice_stats = splice;
+    }
     StatusOr<SRepairResult> result = Status::Internal("never ran");
     if (request.threads == 1) {
       // Sequential hint: run on the calling thread, no block fan-out. The
@@ -167,6 +185,8 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     cached.backend = result->backend;
     cached.lower_bound = result->lower_bound;
     cached.achieved_ratio = result->achieved_ratio;
+    if (plan->spliceable) cached.plan = std::move(plan);
+    *materialized = std::move(result->repair);
     return cached;
   }
   // Update repairs: the U-planner has no cooperative mid-search
@@ -192,6 +212,7 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     routes += URepairRouteToString(component.route);
   }
   cached.route = "urepair[" + (routes.empty() ? "noop" : routes) + "]";
+  *materialized = std::move(result.update);
   return cached;
 }
 
@@ -281,12 +302,28 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
     return Status::InvalidArgument(
         "backend selection and max_ratio apply to subset repairs only");
   }
+  if (request.delta != nullptr) {
+    if (request.mode != RepairMode::kSubset) {
+      return Status::InvalidArgument(
+          "delta requests apply to subset repairs only");
+    }
+    // A stale or corrupted delta would poison the chain-keyed cache with a
+    // result attributed to the wrong state — reject it before keying.
+    FDR_RETURN_IF_ERROR(ValidateDelta(*request.delta, *request.table));
+  }
   const FdSet cover = request.fds.CanonicalCover();
-  const uint64_t key = RequestKey(request, cover);
+  // Delta requests are identified by their O(|delta|) chain hash; everyone
+  // else pays the O(n) content hash. The two identities never alias (see
+  // storage/table_delta.h).
+  const uint64_t table_hash = request.delta != nullptr
+                                  ? request.delta->result_hash
+                                  : TableContentHash(*request.table);
+  const uint64_t key = RequestKey(request, cover, table_hash);
 
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.lookups;
+    if (request.delta != nullptr) ++stats_.delta_requests;
   }
 
   // Fail a request with the right code and keep the rejection counters
@@ -369,13 +406,45 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
       // Served from cache (ready at lookup, or single-flight follower).
       return Replay(entry->result, *request.table, /*cache_hit=*/true, key);
     }
-    // bypass_cache: execute without touching the cache.
+    // bypass_cache: execute without touching the cache — a delta request
+    // here never splices (the splice's base plan IS cached state).
     Status slot = AcquireExecSlot(deadline);
     if (!slot.ok()) return fail(std::move(slot));
-    StatusOr<CachedRepair> computed = Execute(request, cover, deadline);
+    std::optional<Table> materialized;
+    SRepairSpliceStats splice;
+    StatusOr<CachedRepair> computed =
+        Execute(request, cover, deadline, nullptr, &splice, &materialized);
     ReleaseExecSlot();
     if (!computed.ok()) return fail(computed.status());
-    return Replay(*computed, *request.table, /*cache_hit=*/false, key);
+    return RepairResponse{std::move(*materialized),
+                          computed->distance,
+                          computed->optimal,
+                          computed->ratio_bound,
+                          computed->route,
+                          computed->backend,
+                          computed->lower_bound,
+                          computed->achieved_ratio,
+                          /*cache_hit=*/false,
+                          key};
+  }
+
+  // Leader of a delta request: look up the pre-mutation state's entry and
+  // pin its plan for the splice. A miss (evicted, never served, or a
+  // planless hard/backend route) simply degrades to a full re-plan — the
+  // result is bit-identical either way, only slower.
+  std::shared_ptr<Entry> base_entry;
+  const SRepairPlanCache* base_plan = nullptr;
+  if (request.delta != nullptr) {
+    const uint64_t base_key =
+        RequestKey(request, cover, request.delta->base_hash);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = entries_.find(base_key);
+    if (it != entries_.end() && it->second.entry->ready &&
+        it->second.entry->status.ok() &&
+        it->second.entry->result.plan != nullptr) {
+      base_entry = it->second.entry;
+      base_plan = base_entry->result.plan.get();
+    }
   }
 
   // Leader: admission control, then plan & execute, then publish.
@@ -384,14 +453,49 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
     Publish(key, entry, slot, CachedRepair{});
     return fail(std::move(slot));
   }
-  StatusOr<CachedRepair> computed = Execute(request, cover, deadline);
+  std::optional<Table> materialized;
+  SRepairSpliceStats splice;
+  StatusOr<CachedRepair> computed =
+      Execute(request, cover, deadline, base_plan, &splice, &materialized);
   ReleaseExecSlot();
+  if (request.delta != nullptr && computed.ok()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    if (splice.blocks_total > 0) {
+      ++stats_.delta_splices;
+      stats_.delta_blocks_clean += static_cast<uint64_t>(splice.blocks_clean);
+      stats_.delta_blocks_dirty += static_cast<uint64_t>(splice.blocks_dirty);
+    } else {
+      ++stats_.delta_full_replans;
+    }
+  }
   if (!computed.ok()) {
     Publish(key, entry, computed.status(), CachedRepair{});
     return fail(computed.status());
   }
-  Publish(key, entry, Status::OK(), *computed);
-  return Replay(entry->result, *request.table, /*cache_hit=*/false, key);
+  // Answer from the planner's own output (copying only the provenance
+  // strings), then publish — followers and later hits replay the entry.
+  RepairResponse response{std::move(*materialized),
+                          computed->distance,
+                          computed->optimal,
+                          computed->ratio_bound,
+                          computed->route,
+                          computed->backend,
+                          computed->lower_bound,
+                          computed->achieved_ratio,
+                          /*cache_hit=*/false,
+                          key};
+  Publish(key, entry, Status::OK(), std::move(*computed));
+  return response;
+}
+
+StatusOr<RepairResponse> RepairService::ApplyDelta(
+    const RepairRequest& request) {
+  if (request.delta == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyDelta requires RepairRequest.delta; use Serve for "
+        "whole-table requests");
+  }
+  return Serve(request);
 }
 
 }  // namespace fdrepair

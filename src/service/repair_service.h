@@ -49,6 +49,7 @@
 #include "common/status.h"
 #include "engine/repair_engine.h"
 #include "storage/table.h"
+#include "storage/table_delta.h"
 #include "urepair/planner.h"
 
 namespace fdrepair {
@@ -88,6 +89,15 @@ struct RepairRequest {
   /// Subset mode only: reject results whose certified ratio exceeds this
   /// (see SRepairOptions::max_ratio). 0 disables the gate. Also keyed.
   double max_ratio = 0;
+  /// Subset mode only: the mutation taking a previously served table state
+  /// to *table (borrowed, like the table; must validate against it — see
+  /// storage/table_delta.h). When set, the request is keyed by the delta's
+  /// result_hash chain instead of rehashing the table, and if the
+  /// pre-mutation state's entry (keyed by delta->base_hash) still holds a
+  /// spliceable plan, execution re-repairs only the blocks the mutation
+  /// dirtied — the response is bit-identical to a cold full re-plan either
+  /// way. Null: the ordinary content-hash path.
+  const TableDelta* delta = nullptr;
 };
 
 struct RepairResponse {
@@ -126,6 +136,15 @@ struct RepairServiceStats {
   uint64_t evictions = 0;
   uint64_t rejected_deadline = 0;
   uint64_t rejected_unavailable = 0;
+  /// Delta-path observability. A delta request that misses its own chain
+  /// key either splices (the pre-mutation entry still held a plan) or
+  /// falls back to a full re-plan; the block counters aggregate how much
+  /// cached work the splices replayed vs recomputed.
+  uint64_t delta_requests = 0;
+  uint64_t delta_splices = 0;
+  uint64_t delta_full_replans = 0;
+  uint64_t delta_blocks_clean = 0;
+  uint64_t delta_blocks_dirty = 0;
   /// Ready entries currently cached.
   uint64_t entries = 0;
   /// Requests currently executing / waiting for an execution slot.
@@ -162,6 +181,14 @@ class RepairService {
   /// under admission control. Safe to call concurrently.
   StatusOr<RepairResponse> Serve(const RepairRequest& request);
 
+  /// The explicit delta entry point: serves a request whose `delta` field
+  /// describes the mutation from a previously served state to
+  /// *request.table. Identical to Serve() on the same request — provided
+  /// so call sites that *mean* incremental re-repair fail loudly
+  /// (kInvalidArgument) when the delta is missing instead of silently
+  /// paying a full content hash + re-plan. Safe to call concurrently.
+  StatusOr<RepairResponse> ApplyDelta(const RepairRequest& request);
+
   /// A point-in-time snapshot of the counters.
   RepairServiceStats stats() const;
 
@@ -178,6 +205,16 @@ class RepairService {
     /// kSubset: surviving tuple ids, in the repair's row order.
     std::vector<TupleId> kept_ids;
     /// kUpdate: cell rewrites (tuple id, attribute, new value text).
+    ///
+    /// ⊥ fresh-value caveat: update repairs may introduce fresh constants,
+    /// rendered "⊥<n>" by the pool that executed the plan (value_pool.h).
+    /// The recipe stores those names as plain text, so a replay reproduces
+    /// the *leader's* ⊥n names verbatim — which is exactly what makes hits
+    /// bit-identical, but also means the names reflect the fresh counter of
+    /// the pool that computed the entry, not the request's pool. A planner
+    /// run directly against a pool whose counter had advanced would pick
+    /// different names for the same repair (service_test.cc pins this down
+    /// with a content-identical copy on a private pool).
     struct CellEdit {
       TupleId id;
       AttrId attr;
@@ -191,6 +228,12 @@ class RepairService {
     std::string backend;
     double lower_bound = 0;
     double achieved_ratio = 1;
+    /// kSubset, polynomial route only: the captured top-level plan
+    /// (always spliceable when present), the seed for delta re-repairs of
+    /// this entry's table state. shared_ptr so delta executions can pin it
+    /// beyond the entry's LRU lifetime; the plan itself is immutable once
+    /// published.
+    std::shared_ptr<const SRepairPlanCache> plan;
   };
 
   /// One cache slot; exists from first request until eviction. `ready`
@@ -212,9 +255,17 @@ class RepairService {
       const std::optional<std::chrono::steady_clock::time_point>& deadline);
   void ReleaseExecSlot();
 
+  /// Runs the planner and condenses its result into a CachedRepair. Also
+  /// moves the planner's already-materialized repair table into
+  /// *materialized: the caller that just executed answers from it directly
+  /// instead of replaying the cache entry (Replay re-resolves every kept id
+  /// against the table — pure overhead when the planner's own output is
+  /// still in hand). Only cache hits and single-flight followers replay.
   StatusOr<CachedRepair> Execute(
       const RepairRequest& request, const FdSet& cover,
-      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      const SRepairPlanCache* delta_base, SRepairSpliceStats* splice,
+      std::optional<Table>* materialized);
 
   StatusOr<RepairResponse> Replay(const CachedRepair& cached,
                                   const Table& table, bool cache_hit,

@@ -1,6 +1,7 @@
 #include "srepair/opt_srepair.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -110,6 +111,86 @@ class ScopedResults {
 struct RecursionContext {
   const SimplificationChain* chain;
   const OptSRepairExec* exec;
+  /// Non-null on a capturing run: the depth-0 arm records its block
+  /// structure here (and skips the all-singleton shortcuts so every block
+  /// actually gets an entry — the shortcuts are bit-identical to the
+  /// general path, so results never change). Deeper levels ignore it.
+  SRepairPlanCache* capture = nullptr;
+};
+
+/// Records the top-level membership sequences — called BEFORE SolveBlocks,
+/// while each window still holds its rows in partition (original-span)
+/// order; child recursions permute their windows in place, and the delta
+/// path names blocks by this pre-recursion order. Also fills *pos_of_row
+/// (indexed by dense table row) with each row's block-local position, so
+/// CaptureBlockResults can translate kept rows to positions without any
+/// per-row hashing.
+void CaptureBlockIds(SRepairPlanCache* capture, SimplificationKind kind,
+                     RowSpan span, const std::vector<int>& group_ends,
+                     std::vector<int>* pos_of_row) {
+  const int num_blocks = static_cast<int>(group_ends.size());
+  capture->spliceable = true;
+  capture->top_kind = kind;
+  capture->blocks.clear();
+  capture->blocks.reserve(num_blocks);
+  pos_of_row->resize(span.table().num_tuples());
+  for (int b = 0; b < num_blocks; ++b) {
+    const int begin = b == 0 ? 0 : group_ends[b - 1];
+    SRepairBlockRecipe& recipe =
+        *capture->blocks.emplace_back(std::make_shared<SRepairBlockRecipe>());
+    recipe.ids.reserve(group_ends[b] - begin);
+    for (int i = begin; i < group_ends[b]; ++i) {
+      recipe.ids.push_back(span.id(i));
+      (*pos_of_row)[span.row(i)] = i - begin;
+    }
+  }
+}
+
+/// Records each top-level block's kept positions and weight after
+/// SolveBlocks (`pos_of_row` is CaptureBlockIds' row → block-local
+/// position translation).
+void CaptureBlockResults(SRepairPlanCache* capture,
+                         const std::vector<int>& pos_of_row,
+                         const std::vector<BlockResult>& results) {
+  for (size_t b = 0; b < capture->blocks.size(); ++b) {
+    SRepairBlockRecipe& recipe = *capture->blocks[b];
+    recipe.kept_pos.reserve(results[b].rows.size());
+    for (int row : results[b].rows) recipe.kept_pos.push_back(pos_of_row[row]);
+    recipe.weight = results[b].weight;
+  }
+}
+
+/// Membership test for the delta's updated ids, fused into block
+/// extraction. TupleIds are assigned densely from 1 and never recycled, so
+/// a flag vector indexed by id answers in one load per block member — the
+/// per-member unordered_set probe this replaces was (with id-keyed kept-row
+/// resolution) the splice's hottest path. Ids too sparse to flag cheaply
+/// fall back to binary search over a sorted copy.
+class UpdatedIdSet {
+ public:
+  UpdatedIdSet(const std::vector<TupleId>& ids, size_t flag_cap) {
+    TupleId max_id = 0;
+    for (TupleId id : ids) max_id = std::max(max_id, id);
+    if (static_cast<size_t>(max_id) < flag_cap) {
+      flags_.assign(static_cast<size_t>(max_id) + 1, 0);
+      for (TupleId id : ids) flags_[static_cast<size_t>(id)] = 1;
+    } else {
+      sorted_ = ids;
+      std::sort(sorted_.begin(), sorted_.end());
+    }
+  }
+
+  bool contains(TupleId id) const {
+    if (!flags_.empty()) {
+      return static_cast<size_t>(id) < flags_.size() &&
+             flags_[static_cast<size_t>(id)] != 0;
+    }
+    return std::binary_search(sorted_.begin(), sorted_.end(), id);
+  }
+
+ private:
+  std::vector<unsigned char> flags_;
+  std::vector<TupleId> sorted_;
 };
 
 Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
@@ -211,7 +292,8 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
       ScopedIntBuffer group_ends(&scratch.groups);
       PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
       const int num_blocks = static_cast<int>(group_ends->size());
-      if (num_blocks == span.num_tuples()) {
+      const bool capturing = depth == 0 && ctx.capture != nullptr;
+      if (num_blocks == span.num_tuples() && !capturing) {
         // Every block is a single tuple, and a single tuple is always its
         // own optimal S-repair — the union keeps everything. Same rows and
         // the same left-to-right weight sum as the block-by-block merge.
@@ -221,11 +303,19 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
         }
         return Status::OK();
       }
+      std::vector<int> capture_pos;
+      if (capturing) {
+        CaptureBlockIds(ctx.capture, step.kind, span, *group_ends,
+                        &capture_pos);
+      }
       ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
           ctx, depth + 1, num_blocks,
           [&](int b) { return BlockSpan(span, *group_ends, b); },
           span.num_tuples(), &*results));
+      if (capturing) {
+        CaptureBlockResults(ctx.capture, capture_pos, *results);
+      }
       for (int b = 0; b < num_blocks; ++b) {
         kept->insert(kept->end(), results[b].rows.begin(),
                      results[b].rows.end());
@@ -240,7 +330,8 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
       ScopedIntBuffer group_ends(&scratch.groups);
       PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
       const int num_blocks = static_cast<int>(group_ends->size());
-      if (num_blocks == span.num_tuples()) {
+      const bool capturing = depth == 0 && ctx.capture != nullptr;
+      if (num_blocks == span.num_tuples() && !capturing) {
         // All blocks are single tuples: the consensus repair is the
         // heaviest tuple, first in span order on ties — exactly what the
         // block merge below computes via `>` against the running best.
@@ -252,11 +343,19 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
         *kept_weight += span.weight(best);
         return Status::OK();
       }
+      std::vector<int> capture_pos;
+      if (capturing) {
+        CaptureBlockIds(ctx.capture, step.kind, span, *group_ends,
+                        &capture_pos);
+      }
       ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
           ctx, depth + 1, num_blocks,
           [&](int b) { return BlockSpan(span, *group_ends, b); },
           span.num_tuples(), &*results));
+      if (capturing) {
+        CaptureBlockResults(ctx.capture, capture_pos, *results);
+      }
       const BlockResult* best = nullptr;
       for (int b = 0; b < num_blocks; ++b) {
         if (best == nullptr || results[b].weight > best->weight) {
@@ -285,11 +384,20 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
                                &scratch.groups, &*group_ends, &*left, &*right,
                                &num_left, &num_right);
       const int num_blocks = static_cast<int>(group_ends->size());
+      const bool capturing = depth == 0 && ctx.capture != nullptr;
+      std::vector<int> capture_pos;
+      if (capturing) {
+        CaptureBlockIds(ctx.capture, step.kind, span, *group_ends,
+                        &capture_pos);
+      }
       ScopedResults results(&scratch, num_blocks);
       FDR_RETURN_IF_ERROR(SolveBlocks(
           ctx, depth + 1, num_blocks,
           [&](int b) { return BlockSpan(span, *group_ends, b); },
           span.num_tuples(), &*results));
+      if (capturing) {
+        CaptureBlockResults(ctx.capture, capture_pos, *results);
+      }
       std::vector<BipartiteEdge> edges;
       edges.reserve(num_blocks);
       for (int b = 0; b < num_blocks; ++b) {
@@ -327,11 +435,9 @@ Status Recurse(const RecursionContext& ctx, int depth, RowSpan span,
   return Status::Internal("unreachable simplification kind");
 }
 
-}  // namespace
-
-StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
-                                          const TableView& view,
-                                          const OptSRepairExec& exec) {
+StatusOr<std::vector<int>> RunRows(const FdSet& fds, const TableView& view,
+                                   const OptSRepairExec& exec,
+                                   SRepairPlanCache* capture) {
   // §3.2: "the success or failure of OptSRepair(∆, T) depends only on ∆,
   // and not on T" — enforce that by running Algorithm 2 up front, so small
   // or empty tables cannot mask a non-simplifiable ∆.
@@ -349,7 +455,7 @@ StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
   std::vector<int> buffer = view.rows();
   std::vector<int> kept;
   double kept_weight = 0;
-  RecursionContext ctx{&chain, &exec};
+  RecursionContext ctx{&chain, &exec, capture};
   FDR_RETURN_IF_ERROR(
       Recurse(ctx, 0,
               RowSpan(view.table(), buffer.data(),
@@ -359,9 +465,228 @@ StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
   return kept;
 }
 
+}  // namespace
+
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairExec& exec) {
+  return RunRows(fds, view, exec, nullptr);
+}
+
 StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
                                           const TableView& view) {
   return OptSRepairRows(fds, view, OptSRepairExec{});
+}
+
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairExec& exec,
+                                          SRepairPlanCache* capture) {
+  if (capture == nullptr) return RunRows(fds, view, exec, nullptr);
+  // A fresh capture every run: on success the depth-0 arm filled it in; on
+  // the paths that never decompose (trivial ∆, single-row or empty table,
+  // errors) it stays non-spliceable and delta callers fall back.
+  capture->spliceable = false;
+  capture->top_kind = SimplificationKind::kStuck;
+  capture->blocks.clear();
+  return RunRows(fds, view, exec, capture);
+}
+
+StatusOr<std::vector<int>> OptSRepairRowsDelta(
+    const FdSet& fds, const TableView& view, const OptSRepairExec& exec,
+    const SRepairPlanCache& base, const std::vector<TupleId>& updated_ids,
+    SRepairPlanCache* capture, SRepairSpliceStats* stats) {
+  if (!base.spliceable) {
+    return Status::FailedPrecondition(
+        "delta splice: base plan is not spliceable (the base run never "
+        "decomposed into blocks) — fall back to a full re-plan");
+  }
+  if (!OsrSucceeds(fds)) {
+    return Status::FailedPrecondition(
+        "OptSRepair fails: OSRSucceeds is false for ∆ = " + fds.ToString() +
+        " (computing an optimal S-repair is APX-complete; Theorem 3.4)");
+  }
+  SimplificationChain chain = SimplificationChain::Compute(fds);
+  const SimplificationStep& step = chain.at(0);
+  if (step.kind != base.top_kind) {
+    return Status::Internal(
+        "delta splice: base plan's top step does not match ∆'s first "
+        "simplification — the plan was captured under a different FD set");
+  }
+  if (view.num_tuples() <= 1) {
+    // The cold run would take the singleton/empty shortcut and never form
+    // blocks; a full re-plan is cheaper than any splice bookkeeping.
+    return Status::FailedPrecondition(
+        "delta splice: mutated table too small to splice");
+  }
+
+  const Table& table = view.table();
+  std::vector<int> buffer = view.rows();
+  RowSpan span(table, buffer.data(), static_cast<int>(buffer.size()));
+  RecursionContext ctx{&chain, &exec, nullptr};
+  RecursionScratch& scratch = LocalScratch();
+
+  // Partition the mutated table exactly as a cold run's depth-0 arm would.
+  ScopedIntBuffer group_ends(&scratch.groups);
+  ScopedIntBuffer left(&scratch.groups);
+  ScopedIntBuffer right(&scratch.groups);
+  int num_left = 0;
+  int num_right = 0;
+  if (step.kind == SimplificationKind::kLhsMarriage) {
+    PartitionSpanForMarriage(span, step.marriage_x1, step.marriage_x2,
+                             &scratch.groups, &*group_ends, &*left, &*right,
+                             &num_left, &num_right);
+  } else {
+    PartitionSpanByAttrs(span, step.removed, &scratch.groups, &*group_ends);
+  }
+  const int num_blocks = static_cast<int>(group_ends->size());
+
+  BaseBlockIndex index;
+  for (const auto& recipe : base.blocks) index.Add(recipe->ids);
+  // Flaggable up to a generous multiple of the table size: ids grow by one
+  // per insert ever made, so only a table that shrank by orders of
+  // magnitude since its ids were minted falls back to binary search.
+  const UpdatedIdSet updated(
+      updated_ids, static_cast<size_t>(view.num_tuples()) * 16 + 65536);
+
+  // One pass per block, while its window still holds partition order
+  // (dirty blocks' child recursions permute their windows in place, but
+  // windows are disjoint — later blocks are unaffected):
+  //   1. extract the membership sequence into a reused scratch buffer and
+  //      test each member against the updated-id set as it streams by;
+  //   2. clean (undirtied + structurally matched) blocks replay their
+  //      captured kept positions straight off the window — the values a
+  //      cold recursion on the identical block would recompute;
+  //   3. dirty blocks re-run the span recursion at depth 1, exactly as
+  //      SolveBlocks would have from a cold depth-0 arm (keeping their id
+  //      sequence only when a refreshed capture needs it).
+  ScopedResults results(&scratch, num_blocks);
+  std::vector<std::vector<TupleId>> ids_of_block(
+      capture != nullptr ? num_blocks : 0);
+  // Refresh-only row → block-local position translation (a dirty block's
+  // window is permuted by its recursion, so positions must be recorded
+  // here, pre-recursion). A flat array over table rows, shared by every
+  // block — no per-block hashing.
+  std::vector<int> pos_of_row(capture != nullptr ? table.num_tuples() : 0);
+  std::vector<int> base_of_block(num_blocks, -1);
+  std::vector<TupleId> ids_scratch;
+  int blocks_clean = 0;
+  for (int b = 0; b < num_blocks; ++b) {
+    RowSpan block = BlockSpan(span, *group_ends, b);
+    ids_scratch.clear();
+    bool dirtied = false;
+    for (int i = 0; i < block.num_tuples(); ++i) {
+      const TupleId id = block.id(i);
+      ids_scratch.push_back(id);
+      if (updated.contains(id)) dirtied = true;
+      if (capture != nullptr) pos_of_row[block.row(i)] = i;
+    }
+    const int m =
+        dirtied ? -1
+                : index.Match(ids_scratch.data(),
+                              static_cast<int>(ids_scratch.size()));
+    base_of_block[b] = m;
+    BlockResult& result = results[b];
+    if (m >= 0) {
+      ++blocks_clean;
+      const SRepairBlockRecipe& recipe = *base.blocks[m];
+      result.rows.reserve(recipe.kept_pos.size());
+      for (int p : recipe.kept_pos) result.rows.push_back(block.row(p));
+      result.weight = recipe.weight;
+    } else {
+      if (capture != nullptr) ids_of_block[b] = ids_scratch;
+      FDR_RETURN_IF_ERROR(
+          Recurse(ctx, 1, block, &result.rows, &result.weight));
+    }
+  }
+
+  // Re-run the top-level merge over the mixed per-block results — the same
+  // reduction, in the same first-appearance block order, as the cold arms.
+  std::vector<int> kept;
+  switch (step.kind) {
+    case SimplificationKind::kCommonLhs: {
+      for (int b = 0; b < num_blocks; ++b) {
+        kept.insert(kept.end(), results[b].rows.begin(),
+                    results[b].rows.end());
+      }
+      break;
+    }
+    case SimplificationKind::kConsensus: {
+      const BlockResult* best = nullptr;
+      for (int b = 0; b < num_blocks; ++b) {
+        if (best == nullptr || results[b].weight > best->weight) {
+          best = &results[b];
+        }
+      }
+      if (best != nullptr && best->weight > 0) {
+        kept.insert(kept.end(), best->rows.begin(), best->rows.end());
+      }
+      break;
+    }
+    case SimplificationKind::kLhsMarriage: {
+      std::vector<BipartiteEdge> edges;
+      edges.reserve(num_blocks);
+      for (int b = 0; b < num_blocks; ++b) {
+        edges.push_back(
+            BipartiteEdge{(*left)[b], (*right)[b], results[b].weight});
+      }
+      MatchingResult matching =
+          MaxWeightBipartiteMatching(num_left, num_right, edges);
+      std::unordered_map<uint64_t, int> block_of;
+      block_of.reserve(num_blocks);
+      for (int b = 0; b < num_blocks; ++b) {
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>((*left)[b])) << 32) |
+            static_cast<uint32_t>((*right)[b]);
+        block_of[key] = b;
+      }
+      for (const auto& [l, r] : matching.pairs) {
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(l)) << 32) |
+            static_cast<uint32_t>(r);
+        const BlockResult& result = results[block_of.at(key)];
+        kept.insert(kept.end(), result.rows.begin(), result.rows.end());
+      }
+      break;
+    }
+    default:
+      return Status::Internal("delta splice: unreachable top step kind");
+  }
+
+  if (capture != nullptr) {
+    // Build the refreshed plan before touching *capture — callers may pass
+    // capture == &base to refresh a plan in place. Clean blocks alias the
+    // base plan's (immutable) recipes, so the refresh allocates only for
+    // the dirty set.
+    std::vector<std::shared_ptr<SRepairBlockRecipe>> blocks(num_blocks);
+    for (int b = 0; b < num_blocks; ++b) {
+      const int m = base_of_block[b];
+      if (m >= 0) {
+        blocks[b] = base.blocks[m];
+        continue;
+      }
+      auto fresh = std::make_shared<SRepairBlockRecipe>();
+      SRepairBlockRecipe& recipe = *fresh;
+      recipe.ids = std::move(ids_of_block[b]);
+      recipe.kept_pos.reserve(results[b].rows.size());
+      for (int row : results[b].rows) {
+        recipe.kept_pos.push_back(pos_of_row[row]);
+      }
+      recipe.weight = results[b].weight;
+      blocks[b] = std::move(fresh);
+    }
+    capture->spliceable = true;
+    capture->top_kind = step.kind;
+    capture->blocks = std::move(blocks);
+  }
+  if (stats != nullptr) {
+    stats->blocks_total = num_blocks;
+    stats->blocks_clean = blocks_clean;
+    stats->blocks_dirty = num_blocks - blocks_clean;
+  }
+
+  std::sort(kept.begin(), kept.end());
+  return kept;
 }
 
 StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table,

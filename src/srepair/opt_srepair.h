@@ -35,10 +35,12 @@
 #define FDREPAIR_SREPAIR_OPT_SREPAIR_H_
 
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "catalog/fdset.h"
 #include "common/status.h"
+#include "srepair/simplification.h"
 #include "storage/table.h"
 #include "storage/table_view.h"
 
@@ -66,6 +68,74 @@ struct OptSRepairExec {
   }
 };
 
+// Plan capture & delta splicing — incremental re-repair under mutation.
+//
+// The recursion's first simplification step decomposes the table into
+// independent top-level σ-blocks; an edited tuple only touches the blocks
+// sharing its partition-attribute values (§3.2 locality). A capturing run
+// records, per top-level block, its TupleId membership sequence, the
+// TupleIds it kept, and its repair weight. A later delta run re-partitions
+// the *mutated* table, classifies each block clean/dirty against the
+// captured plan (engine/BaseBlockIndex), re-runs the span recursion on
+// dirty blocks only, and replays clean blocks' kept ids verbatim — then
+// redoes the top-level merge (union / consensus argmax / marriage
+// matching) over the mixed per-block results.
+//
+// Bit-identity of the splice with a cold full run rests on two facts:
+//   1. a clean block holds the same rows, with the same content, in the
+//      same relative order as its base-run counterpart (mutators preserve
+//      survivor order; see storage/table.h EraseRow), so the cold
+//      recursion on it would retrace the identical expression tree — the
+//      captured kept set and weight double ARE the cold run's values;
+//   2. the top-level merge consumes only per-block (rows, weight) results
+//      in first-appearance block order, so feeding it captured values for
+//      clean blocks and freshly recursed values for dirty blocks follows
+//      the same reduction a cold run performs.
+// Blocks are named by TupleId sequences (never ProjectionKeys or ValueIds,
+// which are pool-dependent), so plans survive re-interning and compose
+// across chained deltas.
+
+/// One top-level block of a captured plan.
+struct SRepairBlockRecipe {
+  /// The block's membership, in block row order (the clean/dirty name).
+  std::vector<TupleId> ids;
+  /// The block's optimal S-repair as *positions into `ids`* rather than
+  /// TupleIds: a clean block's window holds the same id sequence in the
+  /// same order, so replay is a direct window lookup per position — no
+  /// per-id hash resolution against the mutated table (the id form made
+  /// RowOf the splice's hottest instruction).
+  std::vector<int> kept_pos;
+  /// The block's repair weight exactly as the recursion accumulated it;
+  /// bit-exact replay of this double is what keeps consensus argmax and
+  /// marriage matching identical across splices.
+  double weight = 0;
+};
+
+/// The captured top-level structure of one OptSRepairRows run. Spliceable
+/// only when the first chain step actually decomposed into blocks —
+/// trivial ∆, single-row tables and stuck chains are not (callers fall
+/// back to a full re-plan, which is cheap in exactly those cases).
+struct SRepairPlanCache {
+  bool spliceable = false;
+  /// First chain step's kind when spliceable: kCommonLhs, kConsensus or
+  /// kLhsMarriage (determines the merge the splice re-runs).
+  SimplificationKind top_kind = SimplificationKind::kStuck;
+  /// Top-level blocks in first-appearance partition order. Recipes are
+  /// treated as immutable once a run completes and are SHARED between
+  /// chained plans: a splice's refreshed plan aliases every clean block's
+  /// recipe, so refresh cost scales with the dirty set rather than the
+  /// table (plans live in a concurrently-read cache — never mutate a
+  /// published recipe).
+  std::vector<std::shared_ptr<SRepairBlockRecipe>> blocks;
+};
+
+/// Observability of one splice: how much cached work survived.
+struct SRepairSpliceStats {
+  int blocks_total = 0;
+  int blocks_clean = 0;
+  int blocks_dirty = 0;
+};
+
 /// Runs Algorithm 1 on a view; returns the dense row positions (into the
 /// underlying table) of an optimal S-repair, in increasing order.
 /// Fails with kFailedPrecondition iff OSRSucceeds(∆) is false, and with
@@ -77,6 +147,32 @@ StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
 /// Sequential convenience overload (exec = {}).
 StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
                                           const TableView& view);
+
+/// Capturing overload: additionally fills *capture with the run's top-level
+/// plan (capture->spliceable tells whether it can seed a delta run). The
+/// returned rows are bit-identical to the non-capturing overload's — the
+/// only behavioral difference is that capture runs take the general block
+/// path at depth 0 where the plain run may take an all-singleton shortcut
+/// (the shortcuts are themselves bit-identical to that path by design).
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairExec& exec,
+                                          SRepairPlanCache* capture);
+
+/// Delta run: repairs `view` (the MUTATED table) by splicing `base` — the
+/// plan captured on the pre-mutation table — re-running the recursion only
+/// on blocks dirtied by the mutation. `updated_ids` lists tuple ids whose
+/// content changed in place (inserted/deleted rows are detected from the
+/// membership sequences themselves). Bit-identical to a cold
+/// OptSRepairRows on `view` for every thread count. Optionally refreshes
+/// *capture with the mutated table's plan (so delta runs chain) and
+/// reports clean/dirty counts in *stats (either may be null).
+/// Fails with kFailedPrecondition when `base` is not spliceable or the
+/// table is too small to splice — callers fall back to a full re-plan.
+StatusOr<std::vector<int>> OptSRepairRowsDelta(
+    const FdSet& fds, const TableView& view, const OptSRepairExec& exec,
+    const SRepairPlanCache& base, const std::vector<TupleId>& updated_ids,
+    SRepairPlanCache* capture, SRepairSpliceStats* stats);
 
 /// Convenience: materializes the optimal S-repair of `table` as a Table
 /// (identifiers and weights preserved).

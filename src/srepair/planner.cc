@@ -197,9 +197,25 @@ StatusOr<SRepairResult> ComputeSRepair(const FdSet& fds, const Table& table,
   }
 
   if (backend == nullptr && verdict.polynomial) {
-    FDR_ASSIGN_OR_RETURN(Table repair, OptSRepair(fds, table, options.exec));
-    return finish(std::move(repair), true, 1.0, SRepairAlgorithm::kOptSRepair,
-                  "", 0);
+    StatusOr<std::vector<int>> rows = Status::Internal("unset");
+    if (options.delta_base != nullptr) {
+      FDR_CHECK_MSG(options.delta_updated_ids != nullptr,
+                    "delta_base set without delta_updated_ids");
+      rows = OptSRepairRowsDelta(fds, view, options.exec, *options.delta_base,
+                                 *options.delta_updated_ids, options.capture,
+                                 options.splice_stats);
+      if (!rows.ok() &&
+          rows.status().code() == StatusCode::kFailedPrecondition) {
+        // Non-spliceable base plan or instance: exactly the cases where a
+        // cold run is cheap. Re-plan in full (refreshing the capture).
+        rows = OptSRepairRows(fds, view, options.exec, options.capture);
+      }
+    } else {
+      rows = OptSRepairRows(fds, view, options.exec, options.capture);
+    }
+    FDR_RETURN_IF_ERROR(rows.status());
+    return finish(table.SubsetByRows(*rows), true, 1.0,
+                  SRepairAlgorithm::kOptSRepair, "", 0);
   }
 
   if (backend != nullptr && backend->has_fused_rows()) {

@@ -84,6 +84,28 @@ struct SRepairOptions {
   /// expansion, degrading to their incumbent (kAuto) or to
   /// kDeadlineExceeded (kExactOnly) instead of overshooting.
   OptSRepairExec exec;
+
+  // Plan capture & delta splicing (polynomial route only; see
+  // opt_srepair.h). All pointers are borrowed for the duration of the call
+  // and must not be shared across concurrent ComputeSRepair calls. Solver
+  // backends and the approximate routes ignore them — hard-side results
+  // carry no plan, so mutations there always trigger a full re-solve.
+
+  /// When set and the OptSRepair route runs, receives the run's top-level
+  /// plan (capture->spliceable says whether it can seed a delta run).
+  SRepairPlanCache* capture = nullptr;
+  /// When set (with `delta_updated_ids`) and the OptSRepair route runs, the
+  /// repair is computed by dirty-block splicing against this captured base
+  /// plan; non-spliceable instances silently fall back to the cold
+  /// recursion (still filling `capture`). Results are bit-identical to a
+  /// cold run either way.
+  const SRepairPlanCache* delta_base = nullptr;
+  /// Tuple ids whose content changed in place since `delta_base` was
+  /// captured (inserts/deletes are detected structurally). Required
+  /// non-null when delta_base is set.
+  const std::vector<TupleId>* delta_updated_ids = nullptr;
+  /// Optional clean/dirty block counts of the splice that ran.
+  SRepairSpliceStats* splice_stats = nullptr;
 };
 
 /// Which algorithm actually produced a repair.

@@ -156,6 +156,23 @@ void Table::SetValue(int row, AttrId attr, ValueId value) {
   columns_[attr][row] = value;
 }
 
+void Table::EraseRow(int row) {
+  FDR_CHECK_MSG(row >= 0 && row < num_tuples(), "row=" << row);
+  id_index_.erase(ids_[row]);
+  ids_.erase(ids_.begin() + row);
+  weights_.erase(weights_.begin() + row);
+  tuples_.erase(tuples_.begin() + row);
+  for (auto& column : columns_) column.erase(column.begin() + row);
+  // Every surviving row after the gap moved down one position.
+  for (int r = row; r < num_tuples(); ++r) id_index_[ids_[r]] = r;
+}
+
+Status Table::EraseTuple(TupleId id) {
+  FDR_ASSIGN_OR_RETURN(int row, RowOf(id));
+  EraseRow(row);
+  return Status::OK();
+}
+
 bool Table::ColumnStoreConsistent() const {
   if (static_cast<int>(columns_.size()) != schema_.arity()) return false;
   for (int a = 0; a < schema_.arity(); ++a) {

@@ -138,6 +138,15 @@ class Table {
   /// Overwrites one cell; the basis of update repairs. `attr` must be valid.
   void SetValue(int row, AttrId attr, ValueId value);
 
+  /// Removes the row at dense position `row`; later rows shift down one
+  /// position (relative order of the survivors is preserved — the delta
+  /// path's clean-block soundness depends on this). O(num_tuples) for the
+  /// shift and the id-index fixup. The identifier is NOT recycled:
+  /// re-adding after an erase never aliases an old id.
+  void EraseRow(int row);
+  /// EraseRow addressed by tuple identifier; kNotFound if absent.
+  Status EraseTuple(TupleId id);
+
   /// Interns through the shared pool.
   ValueId Intern(const std::string& text) { return pool_->Intern(text); }
   ValueId FreshValue() { return pool_->FreshValue(); }

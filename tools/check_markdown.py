@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Markdown link check + lint for the docs tier (stdlib only, no network).
+
+Usage:
+    check_markdown.py [--self-test] PATH [PATH ...]
+
+Each PATH is a markdown file or a directory scanned recursively for
+``*.md``. Checks, per file:
+
+  * every relative link / image target resolves to an existing file or
+    directory (``http(s)://`` and ``mailto:`` targets are skipped — CI
+    must not depend on the network);
+  * every ``#fragment`` — same-file or on a linked ``.md`` target —
+    matches a heading anchor, using GitHub's slugification (lowercase,
+    punctuation dropped, spaces to hyphens, ``-N`` suffixes for
+    duplicate headings);
+  * every reference-style link ``[text][ref]`` has a matching
+    ``[ref]: target`` definition;
+  * every fenced code block is closed (an unclosed fence swallows the
+    rest of the file and silently hides broken links from this very
+    checker).
+
+Fenced code blocks and inline code spans are stripped before link
+extraction, so shell snippets like ``[--flag=N]`` never false-positive.
+Exits non-zero listing every problem; run with --self-test first in CI
+so a regression in the checker itself cannot silently pass broken docs.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Inline link or image: [text](target) / ![alt](target). The target runs to
+# the first unescaped ')' — markdown titles ("...") are split off below.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style usage [text][ref] and definition [ref]: target.
+REF_USE = re.compile(r"\[[^\]]+\]\[([^\]]+)\]")
+REF_DEF = re.compile(r"^\s*\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text):
+    """Blanks fenced blocks and inline code spans, preserving line count.
+
+    Returns (stripped_text, fence_balanced)."""
+    lines = text.split("\n")
+    out = []
+    in_fence = False
+    fence_marker = None
+    for line in lines:
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            marker = stripped[:3]
+            if not in_fence:
+                in_fence, fence_marker = True, marker
+            elif marker == fence_marker:
+                in_fence, fence_marker = False, None
+            out.append("")
+            continue
+        out.append("" if in_fence else INLINE_CODE.sub("", line))
+    return "\n".join(out), not in_fence
+
+
+def github_slug(heading, seen):
+    """GitHub's heading-to-anchor slug, disambiguating duplicates."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return "%s-%d" % (slug, seen[slug])
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(text):
+    seen = {}
+    stripped, _ = strip_code(text)
+    return {github_slug(m.group(2), seen) for m in HEADING.finditer(stripped)}
+
+
+def check_file(path, anchor_cache, problems):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as error:
+        problems.append("%s: unreadable: %s" % (path, error))
+        return
+    stripped, balanced = strip_code(text)
+    if not balanced:
+        problems.append("%s: unclosed fenced code block" % path)
+
+    targets = [m.group(1) for m in INLINE_LINK.finditer(stripped)]
+    definitions = {m.group(1).lower(): m.group(2)
+                   for m in REF_DEF.finditer(stripped)}
+    targets.extend(definitions.values())
+    for m in REF_USE.finditer(stripped):
+        if m.group(1).lower() not in definitions:
+            problems.append("%s: undefined link reference [%s]"
+                            % (path, m.group(1)))
+
+    base = os.path.dirname(os.path.abspath(path))
+    for target in targets:
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, ... — never fetched
+        dest, _, fragment = target.partition("#")
+        dest_path = os.path.abspath(path) if not dest \
+            else os.path.normpath(os.path.join(base, dest))
+        if dest and not os.path.exists(dest_path):
+            problems.append("%s: broken link target %s" % (path, target))
+            continue
+        if fragment:
+            if not dest_path.endswith(".md"):
+                continue  # source-file fragments (line anchors) etc.
+            if dest_path not in anchor_cache:
+                try:
+                    with open(dest_path, encoding="utf-8") as f:
+                        anchor_cache[dest_path] = anchors_of(f.read())
+                except OSError:
+                    anchor_cache[dest_path] = set()
+            if fragment.lower() not in anchor_cache[dest_path]:
+                problems.append("%s: missing anchor %s" % (path, target))
+
+
+def collect(paths, problems):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            problems.append("%s: no such file or directory" % path)
+    return files
+
+
+def run(paths):
+    problems = []
+    anchor_cache = {}
+    files = collect(paths, problems)
+    for path in files:
+        check_file(path, anchor_cache, problems)
+    for problem in problems:
+        print("FAIL  %s" % problem)
+    if not problems:
+        print("OK    %d markdown file(s), no broken links" % len(files))
+    return 1 if problems else 0
+
+
+def self_test():
+    cases = []
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, content):
+            path = os.path.join(tmp, name)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+            return path
+
+        good = write("good.md", (
+            "# Top Title\n\n## Caching & invalidation semantics\n\n"
+            "[self](#caching--invalidation-semantics) "
+            "[other](sub/other.md) [deep](sub/other.md#other-title)\n\n"
+            "[web](https://example.com/nope) [ref link][r1]\n\n"
+            "[r1]: sub/other.md\n\n"
+            "```sh\nls [--fake=N] (not-a-link)[x](y.md)\n```\n"
+            "inline `[z](missing.md)` span\n"))
+        write("sub/other.md", "# Other Title\nback: [up](../good.md)\n")
+        cases.append(("clean file passes", run([good]) == 0))
+
+        bad_link = write("bad_link.md", "[gone](nope/missing.md)\n")
+        cases.append(("broken target fails", run([bad_link]) == 1))
+
+        bad_anchor = write("bad_anchor.md", "# Only Title\n[a](#wrong-one)\n")
+        cases.append(("missing anchor fails", run([bad_anchor]) == 1))
+
+        bad_ref = write("bad_ref.md", "see [text][undefined-ref]\n")
+        cases.append(("undefined reference fails", run([bad_ref]) == 1))
+
+        bad_fence = write("bad_fence.md", "```\nnever closed\n")
+        cases.append(("unclosed fence fails", run([bad_fence]) == 1))
+
+        dup = write("dup.md", (
+            "# Same\n# Same\n[second](#same-1)\n"))
+        cases.append(("duplicate heading -1 suffix", run([dup]) == 0))
+
+        cases.append(("directory scan finds bad file",
+                      run([tmp]) == 1))
+
+    failed = [name for name, ok in cases if not ok]
+    for name, ok in cases:
+        print("%s %s" % ("ok  " if ok else "FAIL", name))
+    if failed:
+        print("self-test FAILED: %s" % ", ".join(failed))
+        return 1
+    print("self-test OK (%d check groups)" % len(cases))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.paths:
+        parser.error("no paths given")
+    return run(args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
