@@ -7,7 +7,10 @@
 // metrics: cold/warm us-per-request and the warm-over-cold speedup at a
 // 90% repeat ratio (the acceptance floor is 5x), plus the incremental
 // delta path: warm dirty-block re-repair vs a full re-plan of the same
-// mutated state at a <=1% mutation rate (the acceptance floor is 3x).
+// mutated state at a <=1% mutation rate (the acceptance floor is 3x), in
+// both repair modes — kept-id recipe splicing for subset repairs
+// (`service.delta_speedup`) and cell-edit recipe splicing for update
+// repairs (`service.udelta_speedup`, floor 2x).
 
 #include <algorithm>
 #include <chrono>
@@ -243,6 +246,102 @@ void ReportDeltaSpeedup() {
   JsonReport::Get().Add("service.delta_clean_block_ratio", clean_ratio, "");
 }
 
+/// The update-mode twin of ReportDeltaSpeedup: chained 1%-mutation batches
+/// served through ApplyDelta on kUpdate requests (cell-edit recipe
+/// splicing against the cached U-plan) vs a bypass-cache full update
+/// re-plan of the identical mutated state. Same fixed size, same
+/// both-sides-pay-identity framing.
+void ReportUDeltaSpeedup() {
+  const int tuples = 8192;
+  const int edits_per_round = std::max(1, tuples / 100);  // 1% mutation
+  const int rounds = 16;
+  Population population = MakePopulation(1, tuples);
+  const Table& base = population.tables[0];
+  const int domain = std::max(4, tuples / 16);
+
+  RepairService service;
+  RepairRequest prime;
+  prime.mode = RepairMode::kUpdate;
+  prime.fds = population.parsed.fds;
+  prime.table = &base;
+  if (auto response = service.Serve(prime); !response.ok()) {
+    std::cerr << "prime failed: " << response.status() << "\n";
+    std::exit(1);
+  }
+
+  Rng rng(4242);
+  DeltaBuilder builder(base);
+  double delta_us = 0;
+  double full_us = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (int e = 0; e < edits_per_round; ++e) {
+      const int row =
+          static_cast<int>(rng.UniformIndex(builder.table().num_tuples()));
+      const TupleId id = builder.table().id(row);
+      const AttrId attr = static_cast<AttrId>(
+          rng.UniformIndex(builder.table().schema().arity()));
+      const std::string text =
+          "v" + std::to_string(rng.UniformInt(0, domain - 1));
+      if (!builder.Update(id, attr, text).ok()) std::exit(1);
+    }
+    TableDelta delta = builder.Finish();
+
+    RepairRequest incremental = prime;
+    incremental.table = &builder.table();
+    incremental.delta = &delta;
+    Clock::time_point start = Clock::now();
+    auto spliced = service.ApplyDelta(incremental);
+    std::chrono::duration<double, std::micro> elapsed = Clock::now() - start;
+    if (!spliced.ok()) {
+      std::cerr << "update delta serve failed: " << spliced.status() << "\n";
+      std::exit(1);
+    }
+    delta_us += elapsed.count();
+
+    RepairRequest cold = prime;
+    cold.table = &builder.table();
+    cold.bypass_cache = true;
+    start = Clock::now();
+    auto replanned = service.Serve(cold);
+    elapsed = Clock::now() - start;
+    if (!replanned.ok()) {
+      std::cerr << "cold update replan failed: " << replanned.status()
+                << "\n";
+      std::exit(1);
+    }
+    full_us += elapsed.count();
+  }
+  delta_us /= rounds;
+  full_us /= rounds;
+  const double speedup = delta_us > 0 ? full_us / delta_us : 0;
+
+  RepairServiceStats stats = service.stats();
+  const double splice_ratio =
+      stats.udelta_requests > 0
+          ? static_cast<double>(stats.udelta_splices) /
+                static_cast<double>(stats.udelta_requests)
+          : 0;
+  const uint64_t blocks =
+      stats.udelta_blocks_clean + stats.udelta_blocks_dirty;
+  const double clean_ratio =
+      blocks > 0 ? static_cast<double>(stats.udelta_blocks_clean) /
+                       static_cast<double>(blocks)
+                 : 0;
+
+  ReportTable table({"path", "rounds", "us/request"});
+  table.AddRow({"udelta (splice)", std::to_string(rounds), Num(delta_us)});
+  table.AddRow({"full update re-plan", std::to_string(rounds), Num(full_us)});
+  table.Print();
+  std::cout << "  udelta-over-full speedup: " << Num(speedup)
+            << "x  (splice ratio " << Num(splice_ratio)
+            << ", clean-block ratio " << Num(clean_ratio) << ")\n";
+
+  JsonReport::Get().Add("service.udelta_us_per_request", delta_us, "us");
+  JsonReport::Get().Add("service.udelta_full_us_per_request", full_us, "us");
+  JsonReport::Get().Add("service.udelta_speedup", speedup, "x");
+  JsonReport::Get().Add("service.udelta_clean_block_ratio", clean_ratio, "");
+}
+
 void Report() {
   benchreport::Banner("service", "RepairService cache: cold vs warm");
   ReportColdVsWarm();
@@ -250,6 +349,8 @@ void Report() {
   ReportHitRatioSweep();
   std::cout << "\n";
   ReportDeltaSpeedup();
+  std::cout << "\n";
+  ReportUDeltaSpeedup();
 }
 
 void BM_ServeCold(benchmark::State& state) {

@@ -332,6 +332,30 @@ def self_test():
         1 + lp.get("threshold", default_threshold)) <= 2.0 + 1e-9, lp
     checks += 1
 
+    # The incremental-repair gates: both delta splice paths must keep a
+    # real advantage over a full re-plan of the mutated state — the subset
+    # path (kept-id recipes) commits the >=3x acceptance floor, the update
+    # path (cell-edit recipes) >=2x — and the span-ported Section-4 routes
+    # must stay >=1.5x over the preserved hash-map reference, so the port
+    # can never quietly regress to hash-map speed.
+    sdelta = tracked.get("service.delta_speedup")
+    assert sdelta is not None, "baselines.json must track the subset " \
+        "delta speedup"
+    assert sdelta.get("direction") == "higher", sdelta
+    assert committed_floor(sdelta) >= 3.0, sdelta
+    udelta = tracked.get("service.udelta_speedup")
+    assert udelta is not None, "baselines.json must track the update " \
+        "delta speedup"
+    assert udelta.get("direction") == "higher", udelta
+    assert committed_floor(udelta) >= 2.0, udelta
+    span = tracked.get("urepair.span_speedup")
+    assert span is not None, "baselines.json must track the urepair " \
+        "span speedup"
+    assert span.get("direction") == "higher", span
+    assert span.get("file") == "BENCH_E9.json", span
+    assert committed_floor(span) >= 1.5, span
+    checks += 1
+
     # Rebase applies headroom (2x for lower, 0.8x for higher) but never
     # lowers a 'higher' baseline below its committed min_baseline.
     with tempfile.TemporaryDirectory() as tmp:

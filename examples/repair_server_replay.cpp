@@ -25,14 +25,17 @@
 //   --max-ratio  reject subset repairs certified only above this
 //                ratio (default 0 = no gate)
 //   --mutation-rate  fraction of an instance's rows edited before each
-//                repeated request (default 0 = tables never change;
-//                subset mode only). Repeats are then served through
+//                repeated request (default 0 = tables never change).
+//                Repeats are then served through
 //                RepairService::ApplyDelta with a chained TableDelta, and
 //                every delta request is shadowed by a bypass_cache full
 //                re-plan of the identical mutated state, so the summary
-//                can print the delta-hit (splice) ratio and the measured
-//                delta-over-full speedup. See docs/ARCHITECTURE.md,
-//                "Caching & invalidation semantics".
+//                can print the delta-hit (splice) ratios — per repair
+//                mode: kept-id recipe splices for subset instances,
+//                cell-edit recipe splices for update instances — and the
+//                measured delta-over-full speedup. See
+//                docs/ARCHITECTURE.md, "Caching & invalidation
+//                semantics".
 //
 // Exits non-zero if any request fails for a reason other than the
 // admission-control rejections this demo is meant to surface.
@@ -61,7 +64,7 @@ int Usage() {
   std::cerr << "usage: repair_server_replay [--requests=N] [--repeat=R] "
                "[--rows=N] [--clients=C] [--mode=subset|update|mixed] "
                "[--capacity=N] [--seed=S] [--backend=NAME] [--max-ratio=R] "
-               "[--mutation-rate=M (subset mode only)]\n";
+               "[--mutation-rate=M]\n";
   return 2;
 }
 
@@ -131,10 +134,8 @@ int main(int argc, char** argv) {
   if (args.mode != "subset" && args.mode != "update" && args.mode != "mixed") {
     return Usage();
   }
-  if (args.mutation_rate < 0 || args.mutation_rate > 1 ||
-      (args.mutation_rate > 0 && args.mode != "subset")) {
-    std::cerr << "--mutation-rate wants a fraction in [0, 1] and "
-                 "--mode=subset (the delta path is subset-only)\n";
+  if (args.mutation_rate < 0 || args.mutation_rate > 1) {
+    std::cerr << "--mutation-rate wants a fraction in [0, 1]\n";
     return Usage();
   }
 
@@ -296,26 +297,45 @@ int main(int argc, char** argv) {
             << stats.rejected_unavailable << " unavailable\n";
 
   if (args.mutation_rate > 0) {
-    const double delta_total = static_cast<double>(stats.delta_requests);
-    const double splice_ratio =
-        delta_total > 0 ? stats.delta_splices / delta_total : 0;
-    const uint64_t blocks = stats.delta_blocks_clean + stats.delta_blocks_dirty;
-    const double clean_ratio =
-        blocks > 0 ? static_cast<double>(stats.delta_blocks_clean) /
-                         static_cast<double>(blocks)
-                   : 0;
+    std::cout << "delta (mutation rate " << FormatDouble(args.mutation_rate, 4)
+              << ", " << edits_per_repeat << " edits/repeat):\n";
+    if (stats.delta_requests > 0) {
+      const double delta_total = static_cast<double>(stats.delta_requests);
+      const double splice_ratio = stats.delta_splices / delta_total;
+      const uint64_t blocks =
+          stats.delta_blocks_clean + stats.delta_blocks_dirty;
+      const double clean_ratio =
+          blocks > 0 ? static_cast<double>(stats.delta_blocks_clean) /
+                           static_cast<double>(blocks)
+                     : 0;
+      std::cout << "  subset: " << stats.delta_requests << " delta requests, "
+                << stats.delta_splices << " spliced / "
+                << stats.delta_full_replans
+                << " full re-plans (delta-hit ratio "
+                << FormatDouble(splice_ratio, 4) << ", clean-block ratio "
+                << FormatDouble(clean_ratio, 4) << ")\n";
+    }
+    if (stats.udelta_requests > 0) {
+      const double udelta_total = static_cast<double>(stats.udelta_requests);
+      const double usplice_ratio = stats.udelta_splices / udelta_total;
+      const uint64_t ublocks =
+          stats.udelta_blocks_clean + stats.udelta_blocks_dirty;
+      const double uclean_ratio =
+          ublocks > 0 ? static_cast<double>(stats.udelta_blocks_clean) /
+                            static_cast<double>(ublocks)
+                      : 0;
+      std::cout << "  update: " << stats.udelta_requests
+                << " delta requests, " << stats.udelta_splices
+                << " spliced / " << stats.udelta_full_replans
+                << " full re-plans (update-delta-hit ratio "
+                << FormatDouble(usplice_ratio, 4) << ", clean-block ratio "
+                << FormatDouble(uclean_ratio, 4) << ")\n";
+    }
     const long shadows = shadowed.load();
     const double delta_us =
         shadows > 0 ? delta_ns.load() / 1e3 / shadows : 0;
     const double full_us = shadows > 0 ? full_ns.load() / 1e3 / shadows : 0;
-    std::cout << "delta (mutation rate " << FormatDouble(args.mutation_rate, 4)
-              << ", " << edits_per_repeat << " edits/repeat): "
-              << stats.delta_requests << " delta requests, "
-              << stats.delta_splices << " spliced / "
-              << stats.delta_full_replans << " full re-plans (delta-hit ratio "
-              << FormatDouble(splice_ratio, 4) << ", clean-block ratio "
-              << FormatDouble(clean_ratio, 4) << ")\n"
-              << "delta timing: " << FormatDouble(delta_us, 4)
+    std::cout << "delta timing: " << FormatDouble(delta_us, 4)
               << " us/request vs " << FormatDouble(full_us, 4)
               << " us bypass_cache re-plan  ("
               << FormatDouble(delta_us > 0 ? full_us / delta_us : 0, 4)

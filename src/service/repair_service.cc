@@ -130,8 +130,8 @@ void RepairService::ReleaseExecSlot() {
 StatusOr<RepairService::CachedRepair> RepairService::Execute(
     const RepairRequest& request, const FdSet& cover,
     const std::optional<Clock::time_point>& deadline,
-    const SRepairPlanCache* delta_base, SRepairSpliceStats* splice,
-    std::optional<Table>* materialized) {
+    const SRepairPlanCache* delta_base, const URepairPlanCache* udelta_base,
+    SRepairSpliceStats* splice, std::optional<Table>* materialized) {
   const Table& table = *request.table;
   CachedRepair cached;
   cached.mode = request.mode;
@@ -189,30 +189,59 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     *materialized = std::move(result->repair);
     return cached;
   }
-  // Update repairs: the U-planner has no cooperative mid-search
-  // cancellation, so the deadline is admission-only here.
-  FDR_ASSIGN_OR_RETURN(URepairResult result,
-                       ComputeURepair(cover, table, options_.urepair));
-  for (int row = 0; row < result.update.num_tuples(); ++row) {
-    TupleId id = result.update.id(row);
-    FDR_ASSIGN_OR_RETURN(int src_row, table.RowOf(id));
-    for (AttrId a = 0; a < table.schema().arity(); ++a) {
-      const std::string& text = result.update.ValueText(row, a);
-      if (text != table.ValueText(src_row, a)) {
-        cached.edits.push_back(CachedRepair::CellEdit{id, a, text});
-      }
-    }
+  // Update repairs run the cell-edit pipeline (urepair/opt_urepair.h): the
+  // canonical edit list IS the cache recipe, a captured U-plan seeds later
+  // deltas of this state, and a live base U-plan splices. Inner S-repairs
+  // honor the deadline cooperatively; the approximation/exact routes
+  // remain admission-only.
+  OptURepairOptions uoptions;
+  uoptions.planner = options_.urepair;
+  if (request.threads != 1) {
+    // The engine's pool fans the inner S-repairs' blocks out; threads == 1
+    // pins the bit-identical sequential baseline, exactly as subset mode.
+    uoptions.exec.pool = engine_.pool();
+    uoptions.exec.parallel_cutoff = options_.engine.parallel_cutoff;
   }
-  cached.distance = result.distance;
-  cached.optimal = result.optimal;
-  cached.ratio_bound = result.ratio_bound;
+  if (deadline) uoptions.exec.deadline = *deadline;
+  auto uplan = std::make_shared<URepairPlanCache>();
+  StatusOr<OptURepairResult> result = Status::Internal("never ran");
+  if (request.delta != nullptr && udelta_base != nullptr) {
+    result = OptURepairCellsDelta(cover, table, uoptions, *udelta_base,
+                                  request.delta->updated, uplan.get(), splice);
+    if (!result.ok() &&
+        result.status().code() == StatusCode::kFailedPrecondition) {
+      // The base plan refused to splice (non-spliceable route, shape
+      // drift): degrade to a full re-plan — bit-identical, only slower.
+      result = OptURepairCells(cover, table, uoptions, uplan.get());
+    }
+  } else {
+    result = OptURepairCells(cover, table, uoptions, uplan.get());
+  }
+  if (!result.ok()) return result.status();
+  cached.edits.reserve(result->edits.size());
+  for (const URepairCellEdit& edit : result->edits) {
+    cached.edits.push_back(
+        CachedRepair::CellEdit{edit.id, edit.attr, edit.text});
+  }
+  cached.distance = result->distance;
+  cached.optimal = result->optimal;
+  cached.ratio_bound = result->ratio_bound;
   std::string routes;
-  for (const URepairComponentPlan& component : result.plan.components) {
+  for (const URepairComponentPlan& component : result->plan.components) {
     if (!routes.empty()) routes += ",";
     routes += URepairRouteToString(component.route);
   }
   cached.route = "urepair[" + (routes.empty() ? "noop" : routes) + "]";
-  *materialized = std::move(result.update);
+  if (uplan->spliceable) cached.uplan = std::move(uplan);
+  // Materialize the leader's response exactly as Replay would (clone +
+  // apply edits): one shared code shape keeps leader, followers and hits
+  // bit-identical.
+  Table update = table.Clone();
+  for (const CachedRepair::CellEdit& edit : cached.edits) {
+    FDR_ASSIGN_OR_RETURN(int row, table.RowOf(edit.id));
+    update.SetValue(row, edit.attr, update.Intern(edit.text));
+  }
+  *materialized = std::move(update);
   return cached;
 }
 
@@ -303,10 +332,6 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
         "backend selection and max_ratio apply to subset repairs only");
   }
   if (request.delta != nullptr) {
-    if (request.mode != RepairMode::kSubset) {
-      return Status::InvalidArgument(
-          "delta requests apply to subset repairs only");
-    }
     // A stale or corrupted delta would poison the chain-keyed cache with a
     // result attributed to the wrong state — reject it before keying.
     FDR_RETURN_IF_ERROR(ValidateDelta(*request.delta, *request.table));
@@ -323,7 +348,13 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.lookups;
-    if (request.delta != nullptr) ++stats_.delta_requests;
+    if (request.delta != nullptr) {
+      if (request.mode == RepairMode::kSubset) {
+        ++stats_.delta_requests;
+      } else {
+        ++stats_.udelta_requests;
+      }
+    }
   }
 
   // Fail a request with the right code and keep the rejection counters
@@ -412,8 +443,9 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
     if (!slot.ok()) return fail(std::move(slot));
     std::optional<Table> materialized;
     SRepairSpliceStats splice;
-    StatusOr<CachedRepair> computed =
-        Execute(request, cover, deadline, nullptr, &splice, &materialized);
+    StatusOr<CachedRepair> computed = Execute(request, cover, deadline,
+                                              nullptr, nullptr, &splice,
+                                              &materialized);
     ReleaseExecSlot();
     if (!computed.ok()) return fail(computed.status());
     return RepairResponse{std::move(*materialized),
@@ -434,16 +466,24 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   // result is bit-identical either way, only slower.
   std::shared_ptr<Entry> base_entry;
   const SRepairPlanCache* base_plan = nullptr;
+  const URepairPlanCache* base_uplan = nullptr;
   if (request.delta != nullptr) {
     const uint64_t base_key =
         RequestKey(request, cover, request.delta->base_hash);
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = entries_.find(base_key);
     if (it != entries_.end() && it->second.entry->ready &&
-        it->second.entry->status.ok() &&
-        it->second.entry->result.plan != nullptr) {
-      base_entry = it->second.entry;
-      base_plan = base_entry->result.plan.get();
+        it->second.entry->status.ok()) {
+      const CachedRepair& base_result = it->second.entry->result;
+      if (request.mode == RepairMode::kSubset &&
+          base_result.plan != nullptr) {
+        base_entry = it->second.entry;
+        base_plan = base_result.plan.get();
+      } else if (request.mode == RepairMode::kUpdate &&
+                 base_result.uplan != nullptr) {
+        base_entry = it->second.entry;
+        base_uplan = base_result.uplan.get();
+      }
     }
   }
 
@@ -456,16 +496,31 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   std::optional<Table> materialized;
   SRepairSpliceStats splice;
   StatusOr<CachedRepair> computed =
-      Execute(request, cover, deadline, base_plan, &splice, &materialized);
+      Execute(request, cover, deadline, base_plan, base_uplan, &splice,
+              &materialized);
   ReleaseExecSlot();
   if (request.delta != nullptr && computed.ok()) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    if (splice.blocks_total > 0) {
-      ++stats_.delta_splices;
-      stats_.delta_blocks_clean += static_cast<uint64_t>(splice.blocks_clean);
-      stats_.delta_blocks_dirty += static_cast<uint64_t>(splice.blocks_dirty);
+    if (request.mode == RepairMode::kSubset) {
+      if (splice.blocks_total > 0) {
+        ++stats_.delta_splices;
+        stats_.delta_blocks_clean +=
+            static_cast<uint64_t>(splice.blocks_clean);
+        stats_.delta_blocks_dirty +=
+            static_cast<uint64_t>(splice.blocks_dirty);
+      } else {
+        ++stats_.delta_full_replans;
+      }
     } else {
-      ++stats_.delta_full_replans;
+      if (splice.blocks_total > 0) {
+        ++stats_.udelta_splices;
+        stats_.udelta_blocks_clean +=
+            static_cast<uint64_t>(splice.blocks_clean);
+        stats_.udelta_blocks_dirty +=
+            static_cast<uint64_t>(splice.blocks_dirty);
+      } else {
+        ++stats_.udelta_full_replans;
+      }
     }
   }
   if (!computed.ok()) {

@@ -50,6 +50,7 @@
 #include "engine/repair_engine.h"
 #include "storage/table.h"
 #include "storage/table_delta.h"
+#include "urepair/opt_urepair.h"
 #include "urepair/planner.h"
 
 namespace fdrepair {
@@ -89,14 +90,15 @@ struct RepairRequest {
   /// Subset mode only: reject results whose certified ratio exceeds this
   /// (see SRepairOptions::max_ratio). 0 disables the gate. Also keyed.
   double max_ratio = 0;
-  /// Subset mode only: the mutation taking a previously served table state
-  /// to *table (borrowed, like the table; must validate against it — see
+  /// The mutation taking a previously served table state to *table
+  /// (borrowed, like the table; must validate against it — see
   /// storage/table_delta.h). When set, the request is keyed by the delta's
   /// result_hash chain instead of rehashing the table, and if the
   /// pre-mutation state's entry (keyed by delta->base_hash) still holds a
   /// spliceable plan, execution re-repairs only the blocks the mutation
-  /// dirtied — the response is bit-identical to a cold full re-plan either
-  /// way. Null: the ordinary content-hash path.
+  /// dirtied — kept-id recipes in subset mode, cell-edit recipes in update
+  /// mode (urepair/opt_urepair.h) — and the response is bit-identical to a
+  /// cold full re-plan either way. Null: the ordinary content-hash path.
   const TableDelta* delta = nullptr;
 };
 
@@ -145,6 +147,14 @@ struct RepairServiceStats {
   uint64_t delta_full_replans = 0;
   uint64_t delta_blocks_clean = 0;
   uint64_t delta_blocks_dirty = 0;
+  /// The same counters for update-mode delta requests (the delta_* family
+  /// above counts subset mode only; block counts aggregate across the
+  /// U-plan's inner per-component S-repair splices).
+  uint64_t udelta_requests = 0;
+  uint64_t udelta_splices = 0;
+  uint64_t udelta_full_replans = 0;
+  uint64_t udelta_blocks_clean = 0;
+  uint64_t udelta_blocks_dirty = 0;
   /// Ready entries currently cached.
   uint64_t entries = 0;
   /// Requests currently executing / waiting for an execution slot.
@@ -206,15 +216,18 @@ class RepairService {
     std::vector<TupleId> kept_ids;
     /// kUpdate: cell rewrites (tuple id, attribute, new value text).
     ///
-    /// ⊥ fresh-value caveat: update repairs may introduce fresh constants,
-    /// rendered "⊥<n>" by the pool that executed the plan (value_pool.h).
-    /// The recipe stores those names as plain text, so a replay reproduces
-    /// the *leader's* ⊥n names verbatim — which is exactly what makes hits
-    /// bit-identical, but also means the names reflect the fresh counter of
-    /// the pool that computed the entry, not the request's pool. A planner
-    /// run directly against a pool whose counter had advanced would pick
-    /// different names for the same repair (service_test.cc pins this down
-    /// with a content-identical copy on a private pool).
+    /// ⊥ fresh-value note: update repairs may introduce fresh constants.
+    /// Their names are *deterministic* — derived from the freshened cell's
+    /// (TupleId, attribute), "⊥t<id>.<attr>", or from the exact search's
+    /// (attribute, index) column symbols, "⊥e<attr>.<j>" (urepair/fresh.h)
+    /// — never from a pool-global allocation counter. A replay therefore
+    /// reproduces the same names a planner run against the request's own
+    /// pool would pick, even on a content-identical copy with a private
+    /// pool, and cached cell-edit recipes replay bit-identically across
+    /// re-plans and delta splices. One caveat survives: when user data
+    /// already occupies a fresh name, the pool disambiguates by appending
+    /// "'" (value_pool.h), so the final text additionally depends on that
+    /// colliding user content — identical tables still agree on it.
     struct CellEdit {
       TupleId id;
       AttrId attr;
@@ -234,6 +247,11 @@ class RepairService {
     /// beyond the entry's LRU lifetime; the plan itself is immutable once
     /// published.
     std::shared_ptr<const SRepairPlanCache> plan;
+    /// kUpdate, spliceable routes only: the captured U-plan (consensus
+    /// attributes, per-component inner S-plans and cell-edit block
+    /// recipes), the update-mode delta seed. Same pinning and immutability
+    /// contract as `plan`.
+    std::shared_ptr<const URepairPlanCache> uplan;
   };
 
   /// One cache slot; exists from first request until eviction. `ready`
@@ -264,8 +282,8 @@ class RepairService {
   StatusOr<CachedRepair> Execute(
       const RepairRequest& request, const FdSet& cover,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
-      const SRepairPlanCache* delta_base, SRepairSpliceStats* splice,
-      std::optional<Table>* materialized);
+      const SRepairPlanCache* delta_base, const URepairPlanCache* udelta_base,
+      SRepairSpliceStats* splice, std::optional<Table>* materialized);
 
   StatusOr<RepairResponse> Replay(const CachedRepair& cached,
                                   const Table& table, bool cache_hit,

@@ -150,6 +150,9 @@ class Table {
   /// Interns through the shared pool.
   ValueId Intern(const std::string& text) { return pool_->Intern(text); }
   ValueId FreshValue() { return pool_->FreshValue(); }
+  ValueId FreshValueNamed(const std::string& name) {
+    return pool_->FreshValueNamed(name);
+  }
 
   /// Pretty-prints in the style of Figure 1: id | values... | weight.
   std::string ToString() const;

@@ -39,6 +39,24 @@ ValueId ValuePool::FreshValue() {
   return id;
 }
 
+ValueId ValuePool::FreshValueNamed(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::string candidate = name;
+  while (true) {
+    auto it = index_.find(candidate);
+    if (it == index_.end()) {
+      ValueId id = InternLocked(candidate);
+      fresh_[id] = true;
+      return id;
+    }
+    if (fresh_[it->second]) return it->second;
+    // User data occupies the name: disambiguate deterministically. The
+    // bumped name depends only on the colliding user content, so identical
+    // tables (even on different pools) still agree on it.
+    candidate += "'";
+  }
+}
+
 bool ValuePool::IsFresh(ValueId value) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   FDR_CHECK(value >= 0 && value < static_cast<ValueId>(fresh_.size()));

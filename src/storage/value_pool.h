@@ -51,6 +51,20 @@ class ValuePool {
   /// suffixing until unique.
   ValueId FreshValue();
 
+  /// A fresh value with a caller-chosen *deterministic* name. Unlike
+  /// FreshValue, the result depends only on `name` and the pool's user
+  /// content, never on how many fresh values were manufactured before:
+  ///   - `name` never interned      -> intern it, mark fresh;
+  ///   - `name` already fresh       -> return the existing id (replay- and
+  ///     re-plan-stable: asking twice is idempotent);
+  ///   - `name` interned as user data -> append "'" and retry, so the
+  ///     result still differs from every user value, and deterministically
+  ///     so for identical user content.
+  /// This is what lets update repairs derive ⊥ names from (TupleId, attr)
+  /// so cached cell-edit recipes replay bit-identically across pools,
+  /// re-plans and thread counts (see urepair/fresh.h).
+  ValueId FreshValueNamed(const std::string& name);
+
   /// True iff `value` was manufactured by FreshValue. Lets tests assert that
   /// repairs only introduce fresh constants where the constructions say so.
   bool IsFresh(ValueId value) const;

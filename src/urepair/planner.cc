@@ -4,14 +4,9 @@
 #include <sstream>
 
 #include "srepair/osr_succeeds.h"
-#include "storage/consistency.h"
-#include "storage/distance.h"
 #include "urepair/covers.h"
-#include "urepair/urepair_common_lhs.h"
-#include "urepair/urepair_consensus.h"
-#include "urepair/urepair_exact.h"
+#include "urepair/opt_urepair.h"
 #include "urepair/urepair_key_cycle.h"
-#include "urepair/urepair_kl_approx.h"
 
 namespace fdrepair {
 
@@ -188,86 +183,23 @@ StatusOr<URepairPlan> PlanURepair(const FdSet& fds) {
 
 StatusOr<URepairResult> ComputeURepair(const FdSet& fds, const Table& table,
                                        const URepairOptions& options) {
-  FDR_ASSIGN_OR_RETURN(URepairPlan plan, PlanURepair(fds));
+  // The execution pipeline lives in OptURepairCells (urepair/opt_urepair.cc)
+  // — one implementation serves both the Table-producing facade and the
+  // service's edit-list / delta-splice path. Applying the canonical edits
+  // to a clone reproduces the pipeline's internal update bit for bit: the
+  // edit texts are already interned in the shared pool, so Intern returns
+  // the very ValueIds the pipeline wrote.
+  OptURepairOptions cell_options;
+  cell_options.planner = options;
+  FDR_ASSIGN_OR_RETURN(OptURepairResult cells,
+                       OptURepairCells(fds, table, cell_options, nullptr));
   Table update = table.Clone();
-
-  // Copies the cells of `attrs` from a component's sub-update into the
-  // global update. Sub-updates are clones of `table`, so rows align.
-  auto merge = [&](const Table& sub, AttrSet attrs) {
-    FDR_CHECK(sub.num_tuples() == update.num_tuples());
-    for (int row = 0; row < sub.num_tuples(); ++row) {
-      FDR_CHECK(sub.id(row) == update.id(row));
-      ForEachAttr(attrs, [&](AttrId attr) {
-        if (update.value(row, attr) != sub.value(row, attr)) {
-          update.SetValue(row, attr, sub.value(row, attr));
-        }
-      });
-    }
-  };
-
-  bool all_exact = true;
-  double achieved_bound = 1.0;
-
-  if (!plan.consensus_attrs.empty()) {
-    merge(ConsensusPluralityRepair(table, plan.consensus_attrs),
-          plan.consensus_attrs);
+  for (const URepairCellEdit& edit : cells.edits) {
+    FDR_ASSIGN_OR_RETURN(int row, update.RowOf(edit.id));
+    update.SetValue(row, edit.attr, update.Intern(edit.text));
   }
-
-  for (URepairComponentPlan& component : plan.components) {
-    const AttrSet attrs = component.fds.Attrs();
-    switch (component.route) {
-      case URepairRoute::kNoop:
-      case URepairRoute::kConsensusPlurality:
-        break;
-      case URepairRoute::kCommonLhsExact: {
-        FDR_ASSIGN_OR_RETURN(Table sub,
-                             CommonLhsOptimalURepair(component.fds, table));
-        merge(sub, attrs);
-        break;
-      }
-      case URepairRoute::kKeyCycleExact: {
-        FDR_ASSIGN_OR_RETURN(Table sub,
-                             KeyCycleOptimalURepair(component.fds, table));
-        merge(sub, attrs);
-        break;
-      }
-      case URepairRoute::kExactSearch:
-      case URepairRoute::kCombinedApprox: {
-        if (options.allow_exact_search) {
-          ExactURepairOptions exact_options;
-          exact_options.max_rows = options.exact_rows_guard;
-          exact_options.max_cells = options.exact_cells_guard;
-          exact_options.mutable_attrs = attrs;
-          auto exact = OptURepairExact(component.fds, table, exact_options);
-          if (exact.ok()) {
-            merge(*exact, attrs);
-            component.route = URepairRoute::kExactSearch;
-            component.ratio_bound = 1.0;
-            break;
-          }
-          if (exact.status().code() != StatusCode::kResourceExhausted) {
-            return exact.status();
-          }
-        }
-        FDR_ASSIGN_OR_RETURN(Table sub,
-                             CombinedApproxURepair(component.fds, table));
-        merge(sub, attrs);
-        component.route = URepairRoute::kCombinedApprox;
-        all_exact = false;
-        break;
-      }
-    }
-    achieved_bound = std::max(achieved_bound, component.ratio_bound);
-  }
-
-  FDR_ASSIGN_OR_RETURN(double distance, DistUpd(update, table));
-  // The combined update must satisfy ∆ (components are attribute-disjoint
-  // and the consensus part is separated by Theorem 4.3).
-  FDR_CHECK_MSG(Satisfies(update, fds),
-                "planner produced an inconsistent update for " +
-                    fds.ToString());
-  URepairResult result{std::move(update), distance, all_exact,
-                       all_exact ? 1.0 : achieved_bound, std::move(plan)};
+  URepairResult result{std::move(update), cells.distance, cells.optimal,
+                       cells.ratio_bound, std::move(cells.plan)};
   return result;
 }
 

@@ -1,7 +1,7 @@
 #include "urepair/urepair_common_lhs.h"
 
-#include "srepair/opt_srepair.h"
 #include "urepair/covers.h"
+#include "urepair/fresh.h"
 
 namespace fdrepair {
 
@@ -22,15 +22,20 @@ StatusOr<Table> SubsetToUpdate(const FdSet& fds, const Table& table,
   for (int row = 0; row < table.num_tuples(); ++row) {
     if (kept[row]) continue;
     // A fresh constant per cell: the deleted tuple can no longer agree with
-    // anything on any lhs (the cover hits every lhs), so it is inert.
+    // anything on any lhs (the cover hits every lhs), so it is inert. The
+    // constant's name is derived from (TupleId, attr) — see urepair/fresh.h
+    // — so the same deleted cell freshens to the same symbol in every run,
+    // which is what lets cell-edit recipes replay across re-plans.
     ForEachAttr(cover, [&](AttrId attr) {
-      update.SetValue(row, attr, update.FreshValue());
+      update.SetValue(row, attr, FreshCellValue(update, update.id(row), attr));
     });
   }
   return update;
 }
 
-StatusOr<Table> CommonLhsOptimalURepair(const FdSet& fds, const Table& table) {
+StatusOr<Table> CommonLhsOptimalURepair(const FdSet& fds, const Table& table,
+                                        const OptSRepairExec& exec,
+                                        SRepairPlanCache* capture) {
   FdSet delta = fds.WithoutTrivial();
   if (!delta.FindCommonLhsAttr().has_value()) {
     return Status::FailedPrecondition(
@@ -43,8 +48,12 @@ StatusOr<Table> CommonLhsOptimalURepair(const FdSet& fds, const Table& table) {
   // Optimal S-repair (fails exactly when the problem is APX-complete), then
   // the cost-preserving conversion: mlc = 1 because of the common lhs.
   FDR_ASSIGN_OR_RETURN(std::vector<int> kept_rows,
-                       OptSRepairRows(delta, TableView(table)));
+                       OptSRepairRows(delta, TableView(table), exec, capture));
   return SubsetToUpdate(delta, table, kept_rows);
+}
+
+StatusOr<Table> CommonLhsOptimalURepair(const FdSet& fds, const Table& table) {
+  return CommonLhsOptimalURepair(fds, table, OptSRepairExec{}, nullptr);
 }
 
 }  // namespace fdrepair

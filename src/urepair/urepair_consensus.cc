@@ -1,26 +1,44 @@
 #include "urepair/urepair_consensus.h"
 
-#include <unordered_map>
+#include <vector>
+
+#include "storage/row_span.h"
 
 namespace fdrepair {
 namespace {
 
 // The weighted-plurality value of a column (first-seen wins ties).
-ValueId PluralityValue(const Table& table, AttrId attr) {
+//
+// Grouping runs on the shared columnar core: one contiguous Column(attr)
+// sweep resolving each ValueId to a dense first-appearance id through
+// DenseValueIndex (O(1) epoch-stamped clear), with the per-value weights in
+// a plain dense vector. Bit-identical to the historical unordered_map body
+// (ReferencePluralityValue): accumulation visits rows in the same order,
+// and the argmax scans candidates in the same first-appearance order with
+// the same strict `>`, so ties break to the same value.
+ValueId PluralityValue(const Table& table, AttrId attr, DenseValueIndex& index,
+                       std::vector<double>& weight_of,
+                       std::vector<ValueId>& order) {
   FDR_CHECK(table.num_tuples() > 0);
-  std::unordered_map<ValueId, double> weight_of;
-  std::vector<ValueId> order;
-  for (int row = 0; row < table.num_tuples(); ++row) {
-    ValueId value = table.value(row, attr);
-    auto [it, inserted] = weight_of.emplace(value, 0.0);
-    if (inserted) order.push_back(value);
-    it->second += table.weight(row);
+  index.Clear();
+  index.Reserve(static_cast<ValueId>(table.pool()->size()) - 1);
+  weight_of.clear();
+  order.clear();
+  const ColumnView column = table.Column(attr);
+  for (int row = 0; row < column.size(); ++row) {
+    bool created = false;
+    const int dense = index.FindOrCreate(column[row], &created);
+    if (created) {
+      order.push_back(column[row]);
+      weight_of.push_back(0.0);
+    }
+    weight_of[dense] += table.weight(row);
   }
-  ValueId best = order.front();
-  for (ValueId value : order) {
-    if (weight_of[value] > weight_of[best]) best = value;
+  int best = 0;
+  for (int dense = 1; dense < static_cast<int>(order.size()); ++dense) {
+    if (weight_of[dense] > weight_of[best]) best = dense;
   }
-  return best;
+  return order[best];
 }
 
 }  // namespace
@@ -28,8 +46,11 @@ ValueId PluralityValue(const Table& table, AttrId attr) {
 Table ConsensusPluralityRepair(const Table& table, AttrSet attrs) {
   Table update = table.Clone();
   if (table.num_tuples() == 0) return update;
+  DenseValueIndex index;
+  std::vector<double> weight_of;
+  std::vector<ValueId> order;
   ForEachAttr(attrs, [&](AttrId attr) {
-    ValueId plurality = PluralityValue(table, attr);
+    ValueId plurality = PluralityValue(table, attr, index, weight_of, order);
     for (int row = 0; row < update.num_tuples(); ++row) {
       if (update.value(row, attr) != plurality) {
         update.SetValue(row, attr, plurality);
@@ -39,13 +60,31 @@ Table ConsensusPluralityRepair(const Table& table, AttrSet attrs) {
   return update;
 }
 
+std::vector<std::pair<AttrId, ValueId>> ConsensusPluralityValues(
+    const Table& table, AttrSet attrs) {
+  std::vector<std::pair<AttrId, ValueId>> result;
+  if (table.num_tuples() == 0) return result;
+  DenseValueIndex index;
+  std::vector<double> weight_of;
+  std::vector<ValueId> order;
+  ForEachAttr(attrs, [&](AttrId attr) {
+    result.emplace_back(attr,
+                        PluralityValue(table, attr, index, weight_of, order));
+  });
+  return result;
+}
+
 double ConsensusPluralityCost(const Table& table, AttrSet attrs) {
   if (table.num_tuples() == 0) return 0;
   double cost = 0;
+  DenseValueIndex index;
+  std::vector<double> weight_of;
+  std::vector<ValueId> order;
   ForEachAttr(attrs, [&](AttrId attr) {
-    ValueId plurality = PluralityValue(table, attr);
-    for (int row = 0; row < table.num_tuples(); ++row) {
-      if (table.value(row, attr) != plurality) cost += table.weight(row);
+    ValueId plurality = PluralityValue(table, attr, index, weight_of, order);
+    const ColumnView column = table.Column(attr);
+    for (int row = 0; row < column.size(); ++row) {
+      if (column[row] != plurality) cost += table.weight(row);
     }
   });
   return cost;

@@ -7,6 +7,9 @@
 #ifndef FDREPAIR_UREPAIR_UREPAIR_CONSENSUS_H_
 #define FDREPAIR_UREPAIR_UREPAIR_CONSENSUS_H_
 
+#include <utility>
+#include <vector>
+
 #include "catalog/attrset.h"
 #include "common/status.h"
 #include "storage/table.h"
@@ -21,6 +24,13 @@ Table ConsensusPluralityRepair(const Table& table, AttrSet attrs);
 
 /// The cost the plurality repair will incur, without building it.
 double ConsensusPluralityCost(const Table& table, AttrSet attrs);
+
+/// The plurality values themselves, one entry per attribute of `attrs` in
+/// ascending order — for callers (the delta splice path) that apply or
+/// diff the consensus repair without cloning the table. Empty when the
+/// table is empty.
+std::vector<std::pair<AttrId, ValueId>> ConsensusPluralityValues(
+    const Table& table, AttrSet attrs);
 
 }  // namespace fdrepair
 

@@ -1,10 +1,11 @@
 #include "urepair/urepair_exact.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "storage/consistency.h"
 #include "storage/distance.h"
+#include "storage/row_span.h"
+#include "urepair/fresh.h"
 #include "urepair/urepair_kl_approx.h"
 
 namespace fdrepair {
@@ -127,21 +128,28 @@ StatusOr<Table> OptURepairExact(const FdSet& fds, const Table& table,
   state.mutable_attrs = mutable_set.ToVector();
 
   // Candidate values: the column's active domain plus n canonical fresh
-  // symbols (shared within the column).
+  // symbols (shared within the column — equal fresh values are part of the
+  // search space, so the symbols are named per (attr, index), not per cell;
+  // see urepair/fresh.h).
   Table scratch = table.Clone();  // interns fresh symbols into the pool
+  DenseValueIndex seen;
+  seen.Reserve(static_cast<ValueId>(table.pool()->size()) - 1);
   for (AttrId attr : state.mutable_attrs) {
     std::vector<ValueId> domain;
-    std::unordered_set<ValueId> seen;
-    for (int row = 0; row < table.num_tuples(); ++row) {
-      ValueId value = table.value(row, attr);
-      if (seen.insert(value).second) domain.push_back(value);
+    seen.Clear();
+    const ColumnView column = table.Column(attr);
+    for (int row = 0; row < column.size(); ++row) {
+      bool created = false;
+      seen.FindOrCreate(column[row], &created);
+      if (created) domain.push_back(column[row]);
     }
     std::sort(domain.begin(), domain.end());
     state.candidates.push_back(std::move(domain));
     std::vector<ValueId> fresh;
     if (!options.active_domain_only) {
       for (int j = 0; j < table.num_tuples(); ++j) {
-        fresh.push_back(scratch.FreshValue());
+        fresh.push_back(
+            scratch.FreshValueNamed(FreshColumnSymbolName(attr, j)));
       }
     }
     state.fresh_ids.push_back(std::move(fresh));

@@ -1,11 +1,13 @@
 #include "urepair/urepair_kl_approx.h"
 
-#include <unordered_map>
+#include <optional>
+#include <vector>
 
 #include "srepair/srepair_vc_approx.h"
 #include "storage/consistency.h"
 #include "storage/distance.h"
 #include "urepair/covers.h"
+#include "urepair/fresh.h"
 #include "urepair/urepair_mlc_approx.h"
 
 namespace fdrepair {
@@ -33,13 +35,13 @@ StatusOr<Table> KlApproxURepair(const FdSet& fds, const Table& table) {
         violated_rhs[violation.row_j].With(violation.fd.rhs);
   }
 
-  // Memoized minimum core implicants.
-  std::unordered_map<AttrId, AttrSet> core_of;
+  // Minimum core implicants, memoized per attribute in a dense vector
+  // (AttrIds are dense schema positions — no hash map needed).
+  std::vector<std::optional<AttrSet>> core_of(table.schema().arity());
   auto core = [&](AttrId attr) -> StatusOr<AttrSet> {
-    auto it = core_of.find(attr);
-    if (it != core_of.end()) return it->second;
+    if (core_of[attr].has_value()) return *core_of[attr];
     FDR_ASSIGN_OR_RETURN(AttrSet result, MinimumCoreImplicant(delta, attr));
-    core_of.emplace(attr, result);
+    core_of[attr] = result;
     return result;
   };
 
@@ -82,7 +84,7 @@ StatusOr<Table> KlApproxURepair(const FdSet& fds, const Table& table) {
       }
     }
     ForEachAttr(cells, [&](AttrId attr) {
-      update.SetValue(row, attr, update.FreshValue());
+      update.SetValue(row, attr, FreshCellValue(update, update.id(row), attr));
     });
   }
   return update;

@@ -424,7 +424,7 @@ TEST(PlanCaptureTest, NonSpliceableBasesFailPrecondition) {
 // RepairService::ApplyDelta
 // --------------------------------------------------------------------------
 
-TEST(ServiceDeltaTest, ApplyDeltaRequiresASubsetDeltaRequest) {
+TEST(ServiceDeltaTest, ApplyDeltaValidatesItsDeltaRequest) {
   ParsedFdSet parsed = OfficeFds();
   Table table = ScalingFamilyTable(parsed, 32, 2);
   RepairService service;
@@ -432,7 +432,13 @@ TEST(ServiceDeltaTest, ApplyDeltaRequiresASubsetDeltaRequest) {
   RepairRequest missing = Request(RepairMode::kSubset, parsed.fds, &table);
   EXPECT_EQ(service.ApplyDelta(missing).status().code(),
             StatusCode::kInvalidArgument);
+  RepairRequest missing_update =
+      Request(RepairMode::kUpdate, parsed.fds, &table);
+  EXPECT_EQ(service.ApplyDelta(missing_update).status().code(),
+            StatusCode::kInvalidArgument);
 
+  // Update-mode deltas are first-class: a valid delta with no cached base
+  // plan is served as a full re-plan, not rejected.
   DeltaBuilder builder(table);
   const TupleId victim = table.id(0);
   ASSERT_TRUE(builder.Update(victim, 0, "zz").ok());
@@ -440,8 +446,9 @@ TEST(ServiceDeltaTest, ApplyDeltaRequiresASubsetDeltaRequest) {
   RepairRequest update_mode =
       Request(RepairMode::kUpdate, parsed.fds, &builder.table());
   update_mode.delta = &delta;
-  EXPECT_EQ(service.ApplyDelta(update_mode).status().code(),
-            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(service.ApplyDelta(update_mode).ok());
+  EXPECT_EQ(service.stats().udelta_requests, 1u);
+  EXPECT_EQ(service.stats().udelta_full_replans, 1u);
 
   // A stale delta (a listed row mutated past it) is rejected, not
   // mis-served. Staleness of *unlisted* rows is intentionally not caught —
@@ -582,6 +589,63 @@ TEST(ServiceDeltaTest, PropertyRandomMutationSequencesAcrossThreadCounts) {
               static_cast<uint64_t>(kRounds));
     // Chained small batches against a warm service should mostly splice.
     EXPECT_GT(stats.delta_splices, 0u) << "threads " << threads;
+  }
+}
+
+/// Update-mode twin of the headline property: ApplyDelta on kUpdate
+/// requests is bit-identical to a cold update re-plan of the mutated
+/// state — for every engine thread count. The reference service owns a
+/// private ValuePool, so this also exercises the deterministic
+/// fresh-constant names: "⊥t<id>.<attr>" depends only on (TupleId, attr),
+/// which CopyContent preserves, so both pools spell ⊥ cells identically.
+TEST(ServiceDeltaTest, PropertyUpdateModeMutationSequencesAcrossThreadCounts) {
+  ParsedFdSet parsed = OfficeFds();
+  Table base = ScalingFamilyTable(parsed, 500, 23);
+  constexpr int kRounds = 4;
+
+  std::vector<Table> witness;  // per-round repair from the 1-thread service
+  for (int threads : {1, 2, 8}) {
+    RepairServiceOptions options;
+    options.engine.threads = threads;
+    RepairService service(options);
+    ASSERT_TRUE(
+        service.Serve(Request(RepairMode::kUpdate, parsed.fds, &base)).ok());
+
+    Rng rng(101);  // same seed per thread count: identical mutation chains
+    DeltaBuilder builder(base);
+    for (int round = 0; round < kRounds; ++round) {
+      RandomBatch(&builder, /*updates=*/6, /*inserts=*/2, /*erases=*/2,
+                  /*domain=*/31, &rng);
+      TableDelta delta = builder.Finish();
+
+      RepairRequest incremental =
+          Request(RepairMode::kUpdate, parsed.fds, &builder.table());
+      incremental.delta = &delta;
+      auto served = service.ApplyDelta(incremental);
+      ASSERT_TRUE(served.ok())
+          << served.status() << " threads " << threads << " round " << round;
+
+      Table copy = CopyContent(builder.table());
+      RepairService fresh;
+      auto reference =
+          fresh.Serve(Request(RepairMode::kUpdate, parsed.fds, &copy));
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      ExpectSameRepair(reference->repair, served->repair);
+      EXPECT_EQ(reference->distance, served->distance);
+
+      if (threads == 1) {
+        witness.push_back(CopyContent(served->repair));
+      } else {
+        ExpectSameRepair(witness[round], served->repair);
+      }
+    }
+    RepairServiceStats stats = service.stats();
+    EXPECT_EQ(stats.udelta_requests, static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(stats.udelta_splices + stats.udelta_full_replans,
+              static_cast<uint64_t>(kRounds));
+    // OfficeFds routes through the common-lhs exact path, which captures a
+    // spliceable U-plan: chained batches against a warm service must splice.
+    EXPECT_GT(stats.udelta_splices, 0u) << "threads " << threads;
   }
 }
 

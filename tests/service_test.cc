@@ -146,9 +146,10 @@ TEST(RepairServiceTest, UpdateHitAndMissAreBitIdenticalToPlanner) {
   options.num_tuples = 80;
   options.corruptions = 12;
   Table table = PlantedDirtyTable(parsed.schema, parsed.fds, options, &rng);
-  // The direct run uses a content-identical copy with its own ValuePool:
-  // fresh-constant names (⊥n) depend on per-pool counters, so running two
-  // planner passes against one shared pool would shift them.
+  // The direct run uses a content-identical copy with its own ValuePool.
+  // Fresh-constant names are deterministic ("⊥t<id>.<attr>", derived from
+  // the cell, not from pool counters), so a shared pool would also work —
+  // the private pool is kept to pin exactly that cross-pool agreement.
   auto copy = TableFromCsv(TableToCsv(table));
   ASSERT_TRUE(copy.ok()) << copy.status();
   FdSet copy_fds = ParseFdSetOrDie(
