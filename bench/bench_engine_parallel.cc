@@ -27,14 +27,15 @@ using benchreport::Num;
 using benchreport::ReportTable;
 
 double TimeRepairMs(const FdSet& fds, const TableView& view,
-                    const OptSRepairExec& exec, std::vector<int>* rows) {
+                    const OptSRepairRowsOptions& options,
+                    std::vector<int>* rows) {
   // Best of three runs: CI runners are noisy and the regression gate
   // compares these numbers against checked-in baselines; min-of-N is the
   // most stable estimator of the achievable time.
   double best = 0;
   for (int rep = 0; rep < 3; ++rep) {
     auto start = std::chrono::steady_clock::now();
-    auto result = OptSRepairRows(fds, view, exec);
+    auto result = OptSRepairRows(fds, view, options);
     auto stop = std::chrono::steady_clock::now();
     FDR_CHECK_MSG(result.ok(), result.status().ToString());
     double ms =
@@ -68,10 +69,10 @@ void ReportFamilyScaling() {
     const bool chain = label == std::string("chain (office)");
     for (int threads : {1, 2, 4, 8}) {
       ThreadPool pool(threads);
-      OptSRepairExec exec;
-      exec.pool = threads > 1 ? &pool : nullptr;
+      OptSRepairRowsOptions options;
+      options.exec.pool = threads > 1 ? &pool : nullptr;
       std::vector<int> rows;
-      double ms = TimeRepairMs(parsed.fds, view, exec, &rows);
+      double ms = TimeRepairMs(parsed.fds, view, options, &rows);
       if (threads == 1) {
         baseline_rows = rows;
         t1_ms = ms;
@@ -190,10 +191,10 @@ void BM_OptSRepairChainThreads(benchmark::State& state) {
   Table table = ScalingFamilyTable(parsed, n, 11);
   TableView view(table);
   ThreadPool pool(threads);
-  OptSRepairExec exec;
-  exec.pool = threads > 1 ? &pool : nullptr;
+  OptSRepairRowsOptions options;
+  options.exec.pool = threads > 1 ? &pool : nullptr;
   for (auto _ : state) {
-    auto rows = OptSRepairRows(parsed.fds, view, exec);
+    auto rows = OptSRepairRows(parsed.fds, view, options);
     benchmark::DoNotOptimize(rows);
   }
   state.SetItemsProcessed(state.iterations() * n);

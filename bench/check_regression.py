@@ -356,6 +356,25 @@ def self_test():
     assert committed_floor(span) >= 1.5, span
     checks += 1
 
+    # The soft-FD gates (bench_soft_repair): the planner's throughput must
+    # stay tracked, and the light-profile cost ratio's gate limit
+    # (baseline*(1+threshold)) must stay <= 1 — softening constraints can
+    # never cost more than the all-hard optimum, so a rebase can never
+    # quietly accept a soft planner that lost that guarantee.
+    soft_us = tracked.get("soft.office_us_per_tuple")
+    assert soft_us is not None, "baselines.json must track the soft " \
+        "planner throughput"
+    assert soft_us.get("direction") == "lower", soft_us
+    assert soft_us.get("file") == "BENCH_soft.json", soft_us
+    soft_ratio = tracked.get("soft.light_cost_over_hard")
+    assert soft_ratio is not None, "baselines.json must track the soft " \
+        "light-cost ratio"
+    assert soft_ratio.get("direction") == "lower", soft_ratio
+    assert soft_ratio["baseline"] * (
+        1 + soft_ratio.get("threshold", default_threshold)) <= 1.0 + 1e-9, \
+        soft_ratio
+    checks += 1
+
     # Rebase applies headroom (2x for lower, 0.8x for higher) but never
     # lowers a 'higher' baseline below its committed min_baseline.
     with tempfile.TemporaryDirectory() as tmp:

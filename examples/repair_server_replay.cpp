@@ -5,9 +5,10 @@
 //
 // Usage:
 //   repair_server_replay [--requests=N] [--repeat=0.9] [--rows=N]
-//                        [--clients=C] [--mode=subset|update|mixed]
+//                        [--clients=C] [--mode=subset|update|soft|mixed]
 //                        [--capacity=N] [--seed=S]
 //                        [--backend=NAME] [--max-ratio=R]
+//                        [--weight-profile=W[,W...]]
 //                        [--mutation-rate=M]
 //
 //   --requests   length of the replayed log           (default 200)
@@ -16,14 +17,23 @@
 //   --rows       tuples per generated table           (default 500)
 //   --clients    concurrent client threads            (default 4)
 //   --mode       repair family of the requests        (default subset;
-//                "mixed" alternates subset/update per instance)
+//                "soft" serves RepairMode::kSoft with the
+//                --weight-profile weights; "mixed" alternates
+//                subset/update per instance)
 //   --capacity   result-cache entries                 (default 256)
 //   --seed       workload seed                        (default 1)
-//   --backend    hard-side solver backend for subset requests
+//   --backend    hard-side solver backend for subset/soft requests
 //                ("local-ratio", "bnb", "ilp", "lp-rounding";
-//                default: planner auto-routing)
-//   --max-ratio  reject subset repairs certified only above this
+//                default: planner auto-routing; soft cores need a
+//                soft-capable backend)
+//   --max-ratio  reject subset/soft repairs certified only above this
 //                ratio (default 0 = no gate)
+//   --weight-profile  per-FD violation weights for --mode=soft: either
+//                one value applied to every FD or a comma-separated
+//                list aligned with the FD set ("inf"/"hard" pins an FD
+//                hard). Default: all FDs stay hard, which serves
+//                bit-identically to --mode=subset through the soft
+//                mode's delegation.
 //   --mutation-rate  fraction of an instance's rows edited before each
 //                repeated request (default 0 = tables never change).
 //                Repeats are then served through
@@ -62,9 +72,9 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: repair_server_replay [--requests=N] [--repeat=R] "
-               "[--rows=N] [--clients=C] [--mode=subset|update|mixed] "
+               "[--rows=N] [--clients=C] [--mode=subset|update|soft|mixed] "
                "[--capacity=N] [--seed=S] [--backend=NAME] [--max-ratio=R] "
-               "[--mutation-rate=M]\n";
+               "[--weight-profile=W[,W...]] [--mutation-rate=M]\n";
   return 2;
 }
 
@@ -78,8 +88,37 @@ struct Args {
   uint64_t seed = 1;
   std::string backend;
   double max_ratio = 0;
+  std::string weight_profile;
   double mutation_rate = 0;
 };
+
+/// Parses "--weight-profile=": one weight or a comma-separated list;
+/// "inf"/"hard" mean kHardFdWeight. Returns false on malformed input.
+bool ParseWeightProfile(const std::string& text, int num_fds,
+                        std::vector<double>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item == "inf" || item == "hard") {
+      out->push_back(kHardFdWeight);
+    } else {
+      char* end = nullptr;
+      double value = std::strtod(item.c_str(), &end);
+      if (end == item.c_str() || *end != '\0' || !(value > 0)) return false;
+      out->push_back(value);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  // A single value fans out over every FD.
+  if (out->size() == 1 && num_fds > 1) {
+    out->assign(static_cast<size_t>(num_fds), (*out)[0]);
+  }
+  return static_cast<int>(out->size()) == num_fds;
+}
 
 /// Per-instance mutable state for --mutation-rate: the DeltaBuilder owns the
 /// instance's evolving table and the delta chain; the mutex serializes the
@@ -125,17 +164,30 @@ int main(int argc, char** argv) {
       args.backend = arg.substr(10);
     } else if (StartsWith(arg, "--max-ratio=")) {
       args.max_ratio = std::atof(arg.substr(12).c_str());
+    } else if (StartsWith(arg, "--weight-profile=")) {
+      args.weight_profile = arg.substr(17);
     } else if (StartsWith(arg, "--mutation-rate=")) {
       args.mutation_rate = std::atof(arg.substr(16).c_str());
     } else {
       return Usage();
     }
   }
-  if (args.mode != "subset" && args.mode != "update" && args.mode != "mixed") {
+  if (args.mode != "subset" && args.mode != "update" && args.mode != "soft" &&
+      args.mode != "mixed") {
     return Usage();
   }
   if (args.mutation_rate < 0 || args.mutation_rate > 1) {
     std::cerr << "--mutation-rate wants a fraction in [0, 1]\n";
+    return Usage();
+  }
+  if (args.mode == "soft" && args.mutation_rate > 0) {
+    // The service rejects delta + soft (no soft splice); don't generate a
+    // log every request of which would fail.
+    std::cerr << "--mode=soft does not support --mutation-rate\n";
+    return Usage();
+  }
+  if (!args.weight_profile.empty() && args.mode != "soft") {
+    std::cerr << "--weight-profile requires --mode=soft\n";
     return Usage();
   }
 
@@ -143,6 +195,15 @@ int main(int argc, char** argv) {
   // either re-sends a previously seen instance (probability --repeat) or
   // introduces a fresh one.
   ParsedFdSet parsed = OfficeFds();
+  std::vector<double> soft_weights;
+  if (!args.weight_profile.empty() &&
+      !ParseWeightProfile(args.weight_profile, static_cast<int>(parsed.fds.size()),
+                          &soft_weights)) {
+    std::cerr << "--weight-profile wants one positive weight (or \"inf\"/"
+                 "\"hard\") or a comma-separated list of "
+              << parsed.fds.size() << "\n";
+    return Usage();
+  }
   Rng rng(args.seed);
   std::vector<Table> tables;
   std::vector<int> log;
@@ -162,6 +223,7 @@ int main(int argc, char** argv) {
   auto mode_of = [&](int instance) {
     if (args.mode == "subset") return RepairMode::kSubset;
     if (args.mode == "update") return RepairMode::kUpdate;
+    if (args.mode == "soft") return RepairMode::kSoft;
     return instance % 2 == 0 ? RepairMode::kSubset : RepairMode::kUpdate;
   };
 
@@ -204,6 +266,10 @@ int main(int argc, char** argv) {
         if (request.mode == RepairMode::kSubset) {
           request.backend = args.backend;
           request.max_ratio = args.max_ratio;
+        } else if (request.mode == RepairMode::kSoft) {
+          request.options.backend = args.backend;
+          request.options.max_ratio = args.max_ratio;
+          request.options.soft_weights = soft_weights;
         }
         std::unique_lock<std::mutex> instance_lock;
         TableDelta delta;
@@ -347,11 +413,15 @@ int main(int argc, char** argv) {
   // per-instance ratio.
   if (args.mode != "update" && !tables.empty()) {
     RepairRequest probe;
-    probe.mode = RepairMode::kSubset;
+    probe.mode =
+        args.mode == "soft" ? RepairMode::kSoft : RepairMode::kSubset;
     probe.fds = parsed.fds;
     probe.table = &tables[0];
-    probe.backend = args.backend;
-    probe.max_ratio = args.max_ratio;
+    probe.options.backend = args.backend;
+    probe.options.max_ratio = args.max_ratio;
+    if (probe.mode == RepairMode::kSoft) {
+      probe.options.soft_weights = soft_weights;
+    }
     auto response = service.Serve(probe);
     if (response.ok()) {
       std::cout << "sample provenance (instance 0, "

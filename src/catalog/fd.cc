@@ -3,6 +3,13 @@
 #include <sstream>
 
 namespace fdrepair {
+namespace {
+
+void AppendWeight(std::ostringstream& os, const Fd& fd) {
+  if (fd.IsSoft()) os << " @" << fd.weight;
+}
+
+}  // namespace
 
 std::string Fd::ToString(const Schema& schema) const {
   std::ostringstream os;
@@ -12,12 +19,14 @@ std::string Fd::ToString(const Schema& schema) const {
     os << schema.NamesOf(lhs);
   }
   os << " -> " << schema.AttributeName(rhs);
+  AppendWeight(os, *this);
   return os.str();
 }
 
 std::string Fd::ToString() const {
   std::ostringstream os;
   os << lhs.ToString() << " -> " << rhs;
+  AppendWeight(os, *this);
   return os.str();
 }
 

@@ -1,10 +1,20 @@
 // Fd: a functional dependency X → A in the single-rhs normal form the paper
 // adopts throughout §3 ("we assume that every FD has a single attribute on
 // its right-hand side"). The parser accepts general X → Y and normalizes.
+//
+// Every FD carries a violation weight ω ∈ (0, ∞]. ω = ∞ (the default) is a
+// *hard* FD: repairs must satisfy it exactly, and every pre-existing
+// algorithm in this codebase treats it as before. A finite ω is a *soft*
+// FD in the sense of Carmeli–Grohe–Kimelfeld–Livshits ("Database Repairing
+// with Soft Functional Dependencies"): a repair may keep a violating tuple
+// pair and is charged ω per violation instead. The soft planner
+// (srepair/soft_repair.h) consumes finite weights; all other planners
+// require all-hard sets.
 
 #ifndef FDREPAIR_CATALOG_FD_H_
 #define FDREPAIR_CATALOG_FD_H_
 
+#include <limits>
 #include <string>
 
 #include "catalog/attrset.h"
@@ -12,13 +22,27 @@
 
 namespace fdrepair {
 
-/// A functional dependency lhs → rhs with a single rhs attribute.
+/// The weight of a hard (inviolable) FD. Plain FDs default to it, so code
+/// written before weights existed keeps its exact behavior.
+inline constexpr double kHardFdWeight =
+    std::numeric_limits<double>::infinity();
+
+/// A functional dependency lhs → rhs with a single rhs attribute and a
+/// violation weight (∞ = hard, finite = soft).
 struct Fd {
   AttrSet lhs;
   AttrId rhs = 0;
+  /// ω(φ) ∈ (0, ∞]: the cost charged per violating tuple pair kept by a
+  /// soft repair. ∞ marks the FD hard.
+  double weight = kHardFdWeight;
 
   Fd() = default;
   Fd(AttrSet lhs_in, AttrId rhs_in) : lhs(lhs_in), rhs(rhs_in) {}
+  Fd(AttrSet lhs_in, AttrId rhs_in, double weight_in)
+      : lhs(lhs_in), rhs(rhs_in), weight(weight_in) {}
+
+  bool IsHard() const { return weight == kHardFdWeight; }
+  bool IsSoft() const { return !IsHard(); }
 
   /// Trivial iff rhs ∈ lhs (§2.2): satisfied by every table.
   bool IsTrivial() const { return lhs.Contains(rhs); }
@@ -30,25 +54,29 @@ struct Fd {
   /// All attributes mentioned by this FD (lhs ∪ {rhs}).
   AttrSet Attrs() const { return lhs.With(rhs); }
 
-  /// Renders with schema names, e.g. "facility room -> floor" or "{} -> C".
+  /// Renders with schema names, e.g. "facility room -> floor" or "{} -> C";
+  /// soft FDs append their weight, e.g. "room -> floor @2".
   std::string ToString(const Schema& schema) const;
   /// Renders with numeric ids, e.g. "{0,1} -> 2".
   std::string ToString() const;
 
   bool operator==(const Fd& other) const = default;
-  /// Canonical order: by lhs bitmask, then rhs. FdSet keeps FDs sorted so
-  /// equal sets compare equal structurally.
+  /// Canonical order: by lhs bitmask, then rhs, then weight (soft before
+  /// hard). FdSet keeps FDs sorted so equal sets compare equal structurally.
   bool operator<(const Fd& other) const {
     if (lhs != other.lhs) return lhs < other.lhs;
-    return rhs < other.rhs;
+    if (rhs != other.rhs) return rhs < other.rhs;
+    return weight < other.weight;
   }
 };
 
 /// A general FD X → Y before single-rhs normalization; produced by the
-/// parser and by user-facing builders.
+/// parser and by user-facing builders. The weight distributes over the
+/// normalized single-rhs FDs {X → A : A ∈ Y}.
 struct RawFd {
   AttrSet lhs;
   AttrSet rhs;
+  double weight = kHardFdWeight;
 
   bool operator==(const RawFd& other) const = default;
 };

@@ -1,5 +1,6 @@
 #include "catalog/fd_parser.h"
 
+#include <cstdlib>
 #include <vector>
 
 #include "common/strings.h"
@@ -26,7 +27,26 @@ StatusOr<std::vector<std::string>> ParseSide(std::string_view side_text) {
 struct TextFd {
   std::vector<std::string> lhs;
   std::vector<std::string> rhs;
+  double weight = kHardFdWeight;
 };
+
+/// Parses the optional '@weight' suffix; 'inf' and 'hard' spell ∞.
+StatusOr<double> ParseWeight(std::string_view text) {
+  std::string_view stripped = StripAsciiWhitespace(text);
+  if (stripped == "inf" || stripped == "hard" || stripped == "∞") {
+    return kHardFdWeight;
+  }
+  std::string buffer(stripped);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || buffer.empty() ||
+      !(value > 0)) {
+    return Status::InvalidArgument("invalid FD weight '" + buffer +
+                                   "'; expected a positive number, 'inf' "
+                                   "or 'hard'");
+  }
+  return value;
+}
 
 StatusOr<std::vector<TextFd>> Tokenize(std::string_view text) {
   std::string normalized(text);
@@ -37,6 +57,12 @@ StatusOr<std::vector<TextFd>> Tokenize(std::string_view text) {
   for (const std::string& piece : Split(normalized, ';')) {
     std::string_view fd_text = StripAsciiWhitespace(piece);
     if (fd_text.empty()) continue;
+    double weight = kHardFdWeight;
+    size_t at = fd_text.rfind('@');
+    if (at != std::string_view::npos) {
+      FDR_ASSIGN_OR_RETURN(weight, ParseWeight(fd_text.substr(at + 1)));
+      fd_text = StripAsciiWhitespace(fd_text.substr(0, at));
+    }
     size_t arrow = fd_text.find("->");
     if (arrow == std::string_view::npos) {
       return Status::InvalidArgument("FD missing '->': '" +
@@ -61,7 +87,8 @@ StatusOr<std::vector<TextFd>> Tokenize(std::string_view text) {
       return Status::InvalidArgument("FD with empty rhs: '" +
                                      std::string(fd_text) + "'");
     }
-    out.push_back(TextFd{std::move(lhs).value(), std::move(rhs).value()});
+    out.push_back(
+        TextFd{std::move(lhs).value(), std::move(rhs).value(), weight});
   }
   return out;
 }
@@ -71,6 +98,7 @@ StatusOr<FdSet> Resolve(const Schema& schema, const std::vector<TextFd>& fds) {
   raw.reserve(fds.size());
   for (const TextFd& fd : fds) {
     RawFd r;
+    r.weight = fd.weight;
     for (const std::string& name : fd.lhs) {
       FDR_ASSIGN_OR_RETURN(AttrId attr, schema.AttributeId(name));
       r.lhs = r.lhs.With(attr);

@@ -3,12 +3,17 @@
 //
 // Grammar (whitespace-insensitive):
 //   fdset    := fd (';' fd)* [';']        -- newlines also separate FDs
-//   fd       := side '->' side
+//   fd       := side '->' side ['@' weight]
 //   side     := '{}' | attr+              -- attrs separated by spaces/commas
+//   weight   := positive number | 'inf' | 'hard'
 // Examples:
 //   "A B -> C ; C -> B"
 //   "facility -> city; facility room -> floor"
 //   "{} -> C"                              -- a consensus FD
+//   "A -> B @2.5 ; A -> C"                 -- one soft FD (ω = 2.5), one hard
+// Omitting '@' (or writing '@inf' / '@hard') yields a hard FD; a finite
+// weight marks the FD soft (see catalog/fd.h) and distributes over the
+// single-rhs normalization of its rhs.
 
 #ifndef FDREPAIR_CATALOG_FD_PARSER_H_
 #define FDREPAIR_CATALOG_FD_PARSER_H_

@@ -7,14 +7,28 @@ namespace fdrepair {
 
 FdSet FdSet::FromFds(std::vector<Fd> fds) {
   std::sort(fds.begin(), fds.end());
-  fds.erase(std::unique(fds.begin(), fds.end()), fds.end());
-  return FdSet(std::move(fds));
+  // Merge same-(lhs, rhs) entries: hard dominates, soft weights add (two
+  // copies of a soft FD charge every violation twice).
+  std::vector<Fd> out;
+  out.reserve(fds.size());
+  for (const Fd& fd : fds) {
+    if (!out.empty() && out.back().lhs == fd.lhs && out.back().rhs == fd.rhs) {
+      out.back().weight = (out.back().IsHard() || fd.IsHard())
+                              ? kHardFdWeight
+                              : out.back().weight + fd.weight;
+      continue;
+    }
+    out.push_back(fd);
+  }
+  return FdSet(std::move(out));
 }
 
 FdSet FdSet::FromRaw(const std::vector<RawFd>& raw_fds) {
   std::vector<Fd> fds;
   for (const RawFd& raw : raw_fds) {
-    ForEachAttr(raw.rhs, [&](AttrId attr) { fds.emplace_back(raw.lhs, attr); });
+    ForEachAttr(raw.rhs, [&](AttrId attr) {
+      fds.emplace_back(raw.lhs, attr, raw.weight);
+    });
   }
   return FromFds(std::move(fds));
 }
@@ -74,6 +88,24 @@ FdSet FdSet::WithoutTrivial() const {
 }
 
 FdSet FdSet::CanonicalCover() const {
+  if (HasSoftFds()) {
+    // Weight-preserving form: canonicalize the hard part exactly as the
+    // all-hard path below does, then append the soft FDs — dropping only
+    // the provably irrelevant ones. A soft FD entailed by the hard cover
+    // can never be violated alongside it: for any two tuples, violating
+    // lhs → rhs while satisfying every hard FD would make {t1, t2} a
+    // counterexample to the entailment. Everything else is kept verbatim
+    // (weights are meaning; lhs reduction or soft-soft merging would
+    // change which pairs get charged). Exact duplicates merge in FromFds.
+    FdSet hard_cover = HardPart().CanonicalCover();
+    std::vector<Fd> out = hard_cover.fds_;
+    for (const Fd& fd : fds_) {
+      if (fd.IsHard() || fd.IsTrivial()) continue;
+      if (hard_cover.Entails(Fd(fd.lhs, fd.rhs))) continue;
+      out.push_back(fd);
+    }
+    return FromFds(std::move(out));
+  }
   FdSet cover = WithoutTrivial();
   bool changed = true;
   while (changed) {
@@ -157,7 +189,47 @@ FdSet FdSet::MinusAttrs(AttrSet x) const {
   std::vector<Fd> out;
   for (const Fd& fd : fds_) {
     if (x.Contains(fd.rhs)) continue;  // rhs removed: FD disappears
-    out.emplace_back(fd.lhs.Minus(x), fd.rhs);
+    out.emplace_back(fd.lhs.Minus(x), fd.rhs, fd.weight);
+  }
+  return FromFds(std::move(out));
+}
+
+FdSet FdSet::HardPart() const {
+  std::vector<Fd> out;
+  for (const Fd& fd : fds_) {
+    if (fd.IsHard()) out.push_back(fd);
+  }
+  return FdSet(std::move(out));  // already sorted/unique
+}
+
+FdSet FdSet::SoftPart() const {
+  std::vector<Fd> out;
+  for (const Fd& fd : fds_) {
+    if (fd.IsSoft()) out.push_back(fd);
+  }
+  return FdSet(std::move(out));  // already sorted/unique
+}
+
+bool FdSet::HasSoftFds() const {
+  for (const Fd& fd : fds_) {
+    if (fd.IsSoft()) return true;
+  }
+  return false;
+}
+
+StatusOr<FdSet> FdSet::WithWeights(const std::vector<double>& weights) const {
+  if (static_cast<int>(weights.size()) != size()) {
+    return Status::InvalidArgument(
+        "weight profile has " + std::to_string(weights.size()) +
+        " entries for " + std::to_string(size()) + " FDs");
+  }
+  std::vector<Fd> out = fds_;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!(weights[i] > 0)) {  // rejects 0, negatives and NaN alike
+      return Status::InvalidArgument("FD weights must be positive, got " +
+                                     std::to_string(weights[i]));
+    }
+    out[i].weight = weights[i];
   }
   return FromFds(std::move(out));
 }

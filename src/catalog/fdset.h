@@ -13,6 +13,7 @@
 
 #include "catalog/fd.h"
 #include "catalog/schema.h"
+#include "common/status.h"
 
 namespace fdrepair {
 
@@ -30,11 +31,17 @@ class FdSet {
   /// The empty (hence trivial) FD set.
   FdSet() = default;
 
-  /// Canonicalizes (sorts, dedupes) the given FDs.
+  /// Canonicalizes (sorts, merges) the given FDs. Two entries with the same
+  /// (lhs, rhs) merge into one: a hard copy dominates (the constraint is
+  /// inviolable however it is restated), otherwise the soft weights add —
+  /// keeping two copies of a soft FD charges its violations twice, and the
+  /// merged weight says exactly that.
   static FdSet FromFds(std::vector<Fd> fds);
 
-  /// Normalizes general FDs X → Y into {X → A : A ∈ Y} and canonicalizes.
-  /// An FD with empty rhs contributes nothing.
+  /// Normalizes general FDs X → Y into {X → A : A ∈ Y} and canonicalizes as
+  /// FromFds does. Each normalized single-rhs FD inherits its RawFd's
+  /// weight (∞ for plain hard FDs), so `X → BC @2` contributes `X → B @2`
+  /// and `X → C @2`. An FD with empty rhs contributes nothing.
   static FdSet FromRaw(const std::vector<RawFd>& raw_fds);
 
   const std::vector<Fd>& fds() const { return fds_; }
@@ -54,15 +61,44 @@ class FdSet {
   /// Same closure, i.e. each set entails every FD of the other (§2.2).
   bool EquivalentTo(const FdSet& other) const;
 
-  /// The canonical (minimal) cover of ∆: trivial FDs dropped, extraneous
-  /// lhs attributes eliminated, redundant FDs removed — iterated to a
-  /// fixpoint with a fixed elimination order (FDs in canonical sorted order,
-  /// lhs attributes in increasing id order). Always equivalent to ∆.
-  /// Deterministic and independent of how ∆ was phrased on input (ordering,
-  /// duplicates, inflated lhs's, implied FDs all normalize away); like any
-  /// minimal cover it is canonical up to the fixed elimination order. The
-  /// serving layer keys its repair cache on this form.
+  /// The canonical (minimal) cover of ∆, computed *weight-preservingly*.
+  ///
+  /// Hard FDs (weight = ∞) canonicalize exactly as before weights existed:
+  /// trivial FDs dropped, extraneous lhs attributes eliminated, redundant
+  /// FDs removed — iterated to a fixpoint with a fixed elimination order
+  /// (FDs in canonical sorted order, lhs attributes in increasing id
+  /// order). The hard part of the result is always equivalent to the hard
+  /// part of ∆, deterministic, and independent of how ∆ was phrased on
+  /// input (ordering, duplicates, inflated lhs's, implied FDs all
+  /// normalize away).
+  ///
+  /// Soft FDs (finite weight) are never merged with FDs of a different
+  /// weight and never lhs-reduced — their weight is part of their meaning,
+  /// and replacing a soft FD by a logically equivalent one changes which
+  /// tuple pairs get charged. Only two reductions are sound and applied:
+  /// a trivial soft FD is dropped (it has no violating pairs), and a soft
+  /// FD entailed by the *hard* cover is dropped (any two tuples violating
+  /// it also violate a hard FD, so no repair that satisfies the hard part
+  /// ever pays its penalty). Exact (lhs, rhs) duplicates merge by the
+  /// FromFds weight rule. All-hard sets take the historical code path
+  /// bit-for-bit. The serving layer keys its repair cache on this form,
+  /// weights included.
   FdSet CanonicalCover() const;
+
+  /// The hard (weight = ∞) FDs of ∆.
+  FdSet HardPart() const;
+
+  /// The soft (finite-weight) FDs of ∆.
+  FdSet SoftPart() const;
+
+  /// True iff ∆ contains at least one finite-weight FD.
+  bool HasSoftFds() const;
+
+  /// ∆ with per-FD weights replaced by `weights`, aligned with fds()
+  /// order; the result re-canonicalizes (merging any FDs that now carry
+  /// equal (lhs, rhs)). Fails unless weights.size() == size() and every
+  /// weight is positive (∞ allowed: it marks the FD hard).
+  StatusOr<FdSet> WithWeights(const std::vector<double>& weights) const;
 
   /// True iff ∆ contains no nontrivial FD (§2.2); the successful base case
   /// of OptSRepair.
@@ -90,7 +126,8 @@ class FdSet {
 
   /// ∆ − X (§3 notation): removes every attribute of `x` from every lhs and
   /// rhs. In single-rhs form, an FD whose rhs is removed disappears; an FD
-  /// whose lhs empties becomes a consensus FD.
+  /// whose lhs empties becomes a consensus FD. Weights are preserved; FDs
+  /// that collapse onto the same (lhs, rhs) merge by the FromFds rule.
   FdSet MinusAttrs(AttrSet x) const;
 
   /// Chain test (§2.2): every two lhs's are ⊆-comparable. Chain FD sets are

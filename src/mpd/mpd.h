@@ -57,6 +57,41 @@ StatusOr<MpdResult> MostProbableDatabaseBruteForce(const FdSet& fds,
                                                    const Table& table,
                                                    int max_rows = 20);
 
+// ---------------------------------------------------------------------------
+// Noisy-FD extension: soft (finite-weight) FDs as unreliable constraints.
+//
+// Read a soft FD φ with weight ω(φ) as holding per violating pair with
+// failure log-odds −ω: each pair violating φ is independently "excused"
+// with probability e^{−ω(φ)} (equivalently, ω = −log(1 − q) for an FD of
+// reliability q). The penalized log-probability of a subset S is then
+//
+//   log Pr_T(S)  −  Σ_{soft φ} ω(φ) · #violating pairs of φ in S
+//
+// and a soft MPD maximizes it over subsets satisfying the *hard* FDs.
+// With all FDs hard this is exactly MostProbableDatabase. The reduction
+// mirrors Theorem 3.10: log-odds reweighting turns the maximization into
+// an optimal *soft* repair (srepair/soft_repair.h) of the reweighted
+// table, so the tractability frontier is inherited from the soft planner.
+// ---------------------------------------------------------------------------
+
+/// Penalized log-probability per the noisy-FD model: SubsetLogProbability
+/// minus the soft-violation cost of the kept subset. −inf when a removed
+/// tuple is certain.
+double SoftSubsetLogProbability(const FdSet& fds, const Table& table,
+                                const std::vector<int>& kept_rows);
+
+/// Computes a subset maximizing SoftSubsetLogProbability among those
+/// satisfying the hard part of ∆. `feasible` is false only when certain
+/// tuples conflict under a *hard* FD.
+StatusOr<MpdResult> MostProbableDatabaseSoft(const FdSet& fds,
+                                             const Table& table,
+                                             const MpdOptions& options = {});
+
+/// Exhaustive soft MPD over all 2^n subsets; ground truth for tests.
+StatusOr<MpdResult> MostProbableDatabaseSoftBruteForce(const FdSet& fds,
+                                                       const Table& table,
+                                                       int max_rows = 20);
+
 }  // namespace fdrepair
 
 #endif  // FDREPAIR_MPD_MPD_H_

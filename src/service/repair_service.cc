@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "srepair/soft_repair.h"
+#include "srepair/solver_backend.h"
 #include "storage/table_hash.h"
 
 namespace fdrepair {
@@ -16,8 +18,127 @@ const char* RepairModeName(RepairMode mode) {
       return "subset";
     case RepairMode::kUpdate:
       return "update";
+    case RepairMode::kSoft:
+      return "soft";
   }
   return "unknown";
+}
+
+/// The fully resolved request: the merged option set and the effective FD
+/// cover (soft-weight profile applied, then canonicalized — the
+/// weight-preserving cover of catalog/fdset.h).
+struct ResolvedRequest {
+  RepairOptions options;
+  FdSet cover;
+};
+
+/// THE validator: every mode/option compatibility rule lives here, and
+/// nowhere else — Serve runs it before keying, admission or execution, so
+/// a bad combination always fails the same way, with kInvalidArgument.
+/// Also merges the deprecated flat RepairRequest fields into `options`
+/// (conflicting values are an error, not a silent preference).
+StatusOr<ResolvedRequest> ResolveRequest(const RepairRequest& request) {
+  if (request.table == nullptr) {
+    return Status::InvalidArgument("RepairRequest.table is null");
+  }
+  ResolvedRequest resolved;
+  RepairOptions& options = resolved.options;
+  options = request.options;
+  if (!request.backend.empty()) {
+    if (!options.backend.empty() && options.backend != request.backend) {
+      return Status::InvalidArgument(
+          "RepairRequest.backend (deprecated) and options.backend disagree: '" +
+          request.backend + "' vs '" + options.backend + "'");
+    }
+    options.backend = request.backend;
+  }
+  if (request.max_ratio != 0) {
+    if (options.max_ratio != 0 && options.max_ratio != request.max_ratio) {
+      return Status::InvalidArgument(
+          "RepairRequest.max_ratio (deprecated) and options.max_ratio "
+          "disagree: " +
+          std::to_string(request.max_ratio) + " vs " +
+          std::to_string(options.max_ratio));
+    }
+    options.max_ratio = request.max_ratio;
+  }
+  if (options.max_ratio < 0) {
+    return Status::InvalidArgument("options.max_ratio must be >= 0, got " +
+                                   std::to_string(options.max_ratio));
+  }
+  if (request.deadline) {
+    if (options.deadline && *options.deadline != *request.deadline) {
+      return Status::InvalidArgument(
+          "RepairRequest.deadline (deprecated) and options.deadline disagree");
+    }
+    options.deadline = request.deadline;
+  }
+  if (request.threads != 0) {
+    if (options.threads != 0 && options.threads != request.threads) {
+      return Status::InvalidArgument(
+          "RepairRequest.threads (deprecated) and options.threads disagree: " +
+          std::to_string(request.threads) + " vs " +
+          std::to_string(options.threads));
+    }
+    options.threads = request.threads;
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("options.threads must be >= 0, got " +
+                                   std::to_string(options.threads));
+  }
+  options.bypass_cache = options.bypass_cache || request.bypass_cache;
+
+  const std::string mode = RepairModeName(request.mode);
+  const bool solver_mode =
+      request.mode == RepairMode::kSubset || request.mode == RepairMode::kSoft;
+  if (!solver_mode && (!options.backend.empty() || options.max_ratio > 0)) {
+    return Status::InvalidArgument(
+        "backend selection and max_ratio apply to subset and soft repairs "
+        "only (mode=" +
+        mode + ")");
+  }
+  if (!options.soft_weights.empty() && request.mode != RepairMode::kSoft) {
+    return Status::InvalidArgument(
+        "options.soft_weights requires mode=soft (mode=" + mode + ")");
+  }
+  if (request.delta != nullptr && options.bypass_cache) {
+    return Status::InvalidArgument(
+        "RepairRequest.delta cannot be combined with bypass_cache: "
+        "incremental re-repair splices and publishes cached state");
+  }
+  if (request.delta != nullptr && request.mode == RepairMode::kSoft) {
+    return Status::InvalidArgument(
+        "delta requests are not supported in soft mode (no soft splice); "
+        "re-send the mutated table as an ordinary soft request");
+  }
+
+  FdSet effective = request.fds;
+  if (!options.soft_weights.empty()) {
+    FDR_ASSIGN_OR_RETURN(effective,
+                         request.fds.WithWeights(options.soft_weights));
+  }
+  if (effective.HasSoftFds() && request.mode != RepairMode::kSoft) {
+    return Status::InvalidArgument(
+        "the FD set carries finite weights but mode=" + mode +
+        " treats every FD as hard; use RepairMode::kSoft (or strip the "
+        "weights)");
+  }
+  resolved.cover = effective.CanonicalCover();
+  if (!options.backend.empty()) {
+    const SolverBackend* backend = FindSolverBackend(options.backend);
+    if (backend == nullptr) {
+      return Status::InvalidArgument("unknown solver backend '" +
+                                     options.backend + "'");
+    }
+    if (resolved.cover.HasSoftFds() && !backend->soft_capable()) {
+      return Status::InvalidArgument(
+          "solver backend '" + options.backend +
+          "' cannot solve soft-cover instances (finite-weight violations "
+          "survive canonicalization); pick a soft-capable backend "
+          "(local-ratio, bnb, ilp)");
+    }
+  }
+  return resolved;
 }
 
 /// The canonical request key: mode, canonical cover (as lhs-bitmask/rhs
@@ -29,25 +150,29 @@ const char* RepairModeName(RepairMode mode) {
 /// why the two identities deliberately differ); both flow through the same
 /// key structure, which is what lets a first delta's base_hash find the
 /// base table's cold entry.
-uint64_t RequestKey(const RepairRequest& request, const FdSet& cover,
-                    uint64_t table_hash) {
+uint64_t RequestKey(RepairMode mode, const RepairOptions& options,
+                    const FdSet& cover, uint64_t table_hash) {
   StableHasher hasher;
-  hasher.MixUint64(static_cast<uint64_t>(request.mode));
+  hasher.MixUint64(static_cast<uint64_t>(mode));
   hasher.MixUint64(static_cast<uint64_t>(cover.size()));
   for (const Fd& fd : cover.fds()) {
     hasher.MixUint64(fd.lhs.bits());
     hasher.MixInt64(fd.rhs);
+    // Weights are part of the key: the same cover under two weight
+    // profiles is two different optimization problems (∞ for hard FDs —
+    // MixDouble is bit-stable on infinities).
+    hasher.MixDouble(fd.weight);
   }
   hasher.MixUint64(table_hash);
-  hasher.MixString(request.backend);
-  hasher.MixDouble(request.max_ratio);
+  hasher.MixString(options.backend);
+  hasher.MixDouble(options.max_ratio);
   return hasher.digest();
 }
 
 std::optional<Clock::time_point> AbsoluteDeadline(
-    const RepairRequest& request, Clock::time_point admitted) {
-  if (!request.deadline) return std::nullopt;
-  return admitted + *request.deadline;
+    const RepairOptions& options, Clock::time_point admitted) {
+  if (!options.deadline) return std::nullopt;
+  return admitted + *options.deadline;
 }
 
 }  // namespace
@@ -128,8 +253,8 @@ void RepairService::ReleaseExecSlot() {
 }
 
 StatusOr<RepairService::CachedRepair> RepairService::Execute(
-    const RepairRequest& request, const FdSet& cover,
-    const std::optional<Clock::time_point>& deadline,
+    const RepairRequest& request, const RepairOptions& effective,
+    const FdSet& cover, const std::optional<Clock::time_point>& deadline,
     const SRepairPlanCache* delta_base, const URepairPlanCache* udelta_base,
     SRepairSpliceStats* splice, std::optional<Table>* materialized) {
   const Table& table = *request.table;
@@ -138,11 +263,18 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
   if (deadline && Clock::now() >= *deadline) {
     return Status::DeadlineExceeded("deadline expired before execution");
   }
-  if (request.mode == RepairMode::kSubset) {
+  // A soft request whose canonical cover is all-hard IS a subset request
+  // (violations are priced out entirely): run it through the very same
+  // pipeline — engine fan-out, plan capture and all — so the ω ≡ ∞ pin is
+  // bit-identical by construction, not by reimplementation.
+  const bool soft_core =
+      request.mode == RepairMode::kSoft && cover.HasSoftFds();
+  if (request.mode == RepairMode::kSubset ||
+      (request.mode == RepairMode::kSoft && !soft_core)) {
     // Per-request solver knobs override the service-wide configuration.
     SRepairOptions srepair = options_.srepair;
-    if (!request.backend.empty()) srepair.backend = request.backend;
-    if (request.max_ratio > 0) srepair.max_ratio = request.max_ratio;
+    if (!effective.backend.empty()) srepair.backend = effective.backend;
+    if (effective.max_ratio > 0) srepair.max_ratio = effective.max_ratio;
     // Capture the run's top-level plan so later deltas of this state can
     // splice; when this run IS a delta with a live base plan, splice it.
     // The planner only honors these on the polynomial route — explicit
@@ -155,7 +287,7 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
       srepair.splice_stats = splice;
     }
     StatusOr<SRepairResult> result = Status::Internal("never ran");
-    if (request.threads == 1) {
+    if (effective.threads == 1) {
       // Sequential hint: run on the calling thread, no block fan-out. The
       // engine guarantees bit-identical results either way.
       SRepairOptions options = srepair;
@@ -182,11 +314,44 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
     cached.optimal = result->optimal;
     cached.ratio_bound = result->ratio_bound;
     cached.route = SRepairAlgorithmToString(result->algorithm);
+    if (request.mode == RepairMode::kSoft) {
+      cached.route = "soft[" + cached.route + "]";
+    }
     cached.backend = result->backend;
     cached.lower_bound = result->lower_bound;
     cached.achieved_ratio = result->achieved_ratio;
     if (plan->spliceable) cached.plan = std::move(plan);
     *materialized = std::move(result->repair);
+    return cached;
+  }
+  if (soft_core) {
+    // Finite-weight violations survive canonicalization: the soft planner
+    // (weighted common-lhs peel + soft conflicted cores through the
+    // soft-capable solver backends). Its recursion is sequential, so the
+    // threads hint is moot — responses are identical at every setting.
+    SoftRepairOptions soptions;
+    soptions.backend = effective.backend;
+    soptions.exact_guard = options_.srepair.exact_guard;
+    soptions.node_budget = options_.srepair.node_budget;
+    soptions.max_ratio = effective.max_ratio > 0 ? effective.max_ratio
+                                                 : options_.srepair.max_ratio;
+    if (deadline) soptions.exec.deadline = *deadline;
+    FDR_ASSIGN_OR_RETURN(SoftRepairResult result,
+                         ComputeSoftRepair(cover, table, soptions));
+    cached.kept_ids.reserve(result.repair.num_tuples());
+    for (int row = 0; row < result.repair.num_tuples(); ++row) {
+      cached.kept_ids.push_back(result.repair.id(row));
+    }
+    // `distance` carries the full soft objective (deleted weight plus
+    // violation cost) — the quantity the planner minimized.
+    cached.distance = result.cost;
+    cached.optimal = result.optimal;
+    cached.ratio_bound = result.ratio_bound;
+    cached.route = result.route;
+    cached.backend = result.backend;
+    cached.lower_bound = result.lower_bound;
+    cached.achieved_ratio = result.achieved_ratio;
+    *materialized = std::move(result.repair);
     return cached;
   }
   // Update repairs run the cell-edit pipeline (urepair/opt_urepair.h): the
@@ -206,8 +371,11 @@ StatusOr<RepairService::CachedRepair> RepairService::Execute(
   auto uplan = std::make_shared<URepairPlanCache>();
   StatusOr<OptURepairResult> result = Status::Internal("never ran");
   if (request.delta != nullptr && udelta_base != nullptr) {
-    result = OptURepairCellsDelta(cover, table, uoptions, *udelta_base,
-                                  request.delta->updated, uplan.get(), splice);
+    OptURepairOptions delta_options = uoptions;
+    delta_options.delta_base = udelta_base;
+    delta_options.delta_updated_ids = &request.delta->updated;
+    delta_options.splice_stats = splice;
+    result = OptURepairCells(cover, table, delta_options, uplan.get());
     if (!result.ok() &&
         result.status().code() == StatusCode::kFailedPrecondition) {
       // The base plan refused to splice (non-spliceable route, shape
@@ -249,7 +417,7 @@ StatusOr<RepairResponse> RepairService::Replay(const CachedRepair& cached,
                                                const Table& table,
                                                bool cache_hit,
                                                uint64_t key) const {
-  if (cached.mode == RepairMode::kSubset) {
+  if (cached.mode != RepairMode::kUpdate) {
     std::vector<int> rows;
     rows.reserve(cached.kept_ids.size());
     for (TupleId id : cached.kept_ids) {
@@ -321,29 +489,25 @@ void RepairService::Publish(uint64_t key, const std::shared_ptr<Entry>& entry,
 
 StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   const Clock::time_point admitted = Clock::now();
-  if (request.table == nullptr) {
-    return Status::InvalidArgument("RepairRequest.table is null");
-  }
+  // All request validation — legacy-field merging, mode/option mismatches,
+  // weight application and cover canonicalization — lives in ResolveRequest.
+  FDR_ASSIGN_OR_RETURN(ResolvedRequest resolved, ResolveRequest(request));
   const std::optional<Clock::time_point> deadline =
-      AbsoluteDeadline(request, admitted);
-  if (request.mode == RepairMode::kUpdate &&
-      (!request.backend.empty() || request.max_ratio > 0)) {
-    return Status::InvalidArgument(
-        "backend selection and max_ratio apply to subset repairs only");
-  }
+      AbsoluteDeadline(resolved.options, admitted);
   if (request.delta != nullptr) {
     // A stale or corrupted delta would poison the chain-keyed cache with a
     // result attributed to the wrong state — reject it before keying.
     FDR_RETURN_IF_ERROR(ValidateDelta(*request.delta, *request.table));
   }
-  const FdSet cover = request.fds.CanonicalCover();
+  const FdSet& cover = resolved.cover;
   // Delta requests are identified by their O(|delta|) chain hash; everyone
   // else pays the O(n) content hash. The two identities never alias (see
   // storage/table_delta.h).
   const uint64_t table_hash = request.delta != nullptr
                                   ? request.delta->result_hash
                                   : TableContentHash(*request.table);
-  const uint64_t key = RequestKey(request, cover, table_hash);
+  const uint64_t key =
+      RequestKey(request.mode, resolved.options, cover, table_hash);
 
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -371,7 +535,7 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
 
   std::shared_ptr<Entry> entry;
   bool leader = false;
-  while (!request.bypass_cache) {
+  while (!resolved.options.bypass_cache) {
     std::unique_lock<std::mutex> lock(cache_mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
@@ -443,9 +607,9 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
     if (!slot.ok()) return fail(std::move(slot));
     std::optional<Table> materialized;
     SRepairSpliceStats splice;
-    StatusOr<CachedRepair> computed = Execute(request, cover, deadline,
-                                              nullptr, nullptr, &splice,
-                                              &materialized);
+    StatusOr<CachedRepair> computed =
+        Execute(request, resolved.options, cover, deadline, nullptr, nullptr,
+                &splice, &materialized);
     ReleaseExecSlot();
     if (!computed.ok()) return fail(computed.status());
     return RepairResponse{std::move(*materialized),
@@ -468,8 +632,8 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   const SRepairPlanCache* base_plan = nullptr;
   const URepairPlanCache* base_uplan = nullptr;
   if (request.delta != nullptr) {
-    const uint64_t base_key =
-        RequestKey(request, cover, request.delta->base_hash);
+    const uint64_t base_key = RequestKey(request.mode, resolved.options, cover,
+                                         request.delta->base_hash);
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = entries_.find(base_key);
     if (it != entries_.end() && it->second.entry->ready &&
@@ -496,8 +660,8 @@ StatusOr<RepairResponse> RepairService::Serve(const RepairRequest& request) {
   std::optional<Table> materialized;
   SRepairSpliceStats splice;
   StatusOr<CachedRepair> computed =
-      Execute(request, cover, deadline, base_plan, base_uplan, &splice,
-              &materialized);
+      Execute(request, resolved.options, cover, deadline, base_plan,
+              base_uplan, &splice, &materialized);
   ReleaseExecSlot();
   if (request.delta != nullptr && computed.ok()) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);

@@ -61,16 +61,31 @@ enum class RepairMode {
   kSubset,
   /// Optimal update repair (rewrite cells; §4 routes via the U-planner).
   kUpdate,
+  /// Soft repair: tuple deletions traded against weighted FD violations
+  /// (srepair/soft_repair.h). FDs with finite weights (catalog/fd.h) may
+  /// stay violated at cost ω per violating pair; an all-hard FD set makes
+  /// this mode delegate to the subset pipeline outright, so its responses
+  /// are bit-identical to kSubset's.
+  kSoft,
 };
 
 const char* RepairModeToString(RepairMode mode);
 
-/// One typed serving request. The table is borrowed and must stay alive
-/// (and unmodified) until Serve returns.
-struct RepairRequest {
-  RepairMode mode = RepairMode::kSubset;
-  FdSet fds;
-  const Table* table = nullptr;
+/// Every per-request knob in one place, embedded in RepairRequest as
+/// `options`. The historical flat RepairRequest fields forward here (see
+/// RepairRequest) — new code sets this struct only. Mode/option
+/// compatibility is validated centrally in Serve; mismatches fail with
+/// kInvalidArgument before keying or admission.
+struct RepairOptions {
+  /// kSubset/kSoft: hard-side solver backend by registry name
+  /// ("local-ratio", "bnb", "ilp", "lp-rounding", ...). Empty defers to
+  /// the service's configured SRepairOptions. kSoft with finite-weight
+  /// violations additionally requires a soft-capable backend. Part of the
+  /// cache key, so responses produced by different solvers never alias.
+  std::string backend;
+  /// kSubset/kSoft: reject results whose certified ratio exceeds this
+  /// (see SRepairOptions::max_ratio). 0 disables the gate. Also keyed.
+  double max_ratio = 0;
   /// Time budget from the moment Serve is called; covers queueing, waiting
   /// on a single-flight leader, and execution. Unset: no limit.
   std::optional<std::chrono::milliseconds> deadline;
@@ -81,14 +96,40 @@ struct RepairRequest {
   int threads = 0;
   /// Skip the cache entirely (no lookup, no store, no dedup). Admission
   /// control still applies. Used by benches to measure cold latency.
+  /// Incompatible with delta requests (incremental replay is defined by
+  /// cached state) — that combination is rejected, not ignored.
   bool bypass_cache = false;
-  /// Subset mode only: hard-side solver backend by registry name
-  /// ("local-ratio", "bnb", "ilp", "lp-rounding", ...). Empty defers to
-  /// the service's configured SRepairOptions. Part of the cache key, so
-  /// responses produced by different solvers never alias.
+  /// kSoft only: a per-FD weight profile applied over request.fds in its
+  /// stored FD order (FdSet::WithWeights) — size must equal fds.size(),
+  /// entries must be positive (kHardFdWeight = ∞ pins an FD hard). Empty
+  /// keeps whatever weights the FDs already carry. The effective weights
+  /// are part of the cache key: two profiles never share an entry.
+  std::vector<double> soft_weights;
+};
+
+/// One typed serving request. The table is borrowed and must stay alive
+/// (and unmodified) until Serve returns.
+///
+/// The flat `deadline`/`threads`/`bypass_cache`/`backend`/`max_ratio`
+/// fields are DEPRECATED forwarders kept for source compatibility: they
+/// merge into `options` at the top of Serve, and setting a knob both ways
+/// to conflicting values fails with kInvalidArgument. New code sets
+/// `options` only.
+struct RepairRequest {
+  RepairMode mode = RepairMode::kSubset;
+  FdSet fds;
+  const Table* table = nullptr;
+  /// The unified per-request options (see RepairOptions).
+  RepairOptions options;
+  /// DEPRECATED — use options.deadline.
+  std::optional<std::chrono::milliseconds> deadline;
+  /// DEPRECATED — use options.threads.
+  int threads = 0;
+  /// DEPRECATED — use options.bypass_cache.
+  bool bypass_cache = false;
+  /// DEPRECATED — use options.backend.
   std::string backend;
-  /// Subset mode only: reject results whose certified ratio exceeds this
-  /// (see SRepairOptions::max_ratio). 0 disables the gate. Also keyed.
+  /// DEPRECATED — use options.max_ratio.
   double max_ratio = 0;
   /// The mutation taking a previously served table state to *table
   /// (borrowed, like the table; must validate against it — see
@@ -212,7 +253,7 @@ class RepairService {
   /// the same content hash, without storing the table itself.
   struct CachedRepair {
     RepairMode mode = RepairMode::kSubset;
-    /// kSubset: surviving tuple ids, in the repair's row order.
+    /// kSubset/kSoft: surviving tuple ids, in the repair's row order.
     std::vector<TupleId> kept_ids;
     /// kUpdate: cell rewrites (tuple id, attribute, new value text).
     ///
@@ -280,7 +321,8 @@ class RepairService {
   /// against the table — pure overhead when the planner's own output is
   /// still in hand). Only cache hits and single-flight followers replay.
   StatusOr<CachedRepair> Execute(
-      const RepairRequest& request, const FdSet& cover,
+      const RepairRequest& request, const RepairOptions& effective,
+      const FdSet& cover,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
       const SRepairPlanCache* delta_base, const URepairPlanCache* udelta_base,
       SRepairSpliceStats* splice, std::optional<Table>* materialized);

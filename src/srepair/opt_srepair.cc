@@ -465,34 +465,9 @@ StatusOr<std::vector<int>> RunRows(const FdSet& fds, const TableView& view,
   return kept;
 }
 
-}  // namespace
-
-StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
-                                          const TableView& view,
-                                          const OptSRepairExec& exec) {
-  return RunRows(fds, view, exec, nullptr);
-}
-
-StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
-                                          const TableView& view) {
-  return OptSRepairRows(fds, view, OptSRepairExec{});
-}
-
-StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
-                                          const TableView& view,
-                                          const OptSRepairExec& exec,
-                                          SRepairPlanCache* capture) {
-  if (capture == nullptr) return RunRows(fds, view, exec, nullptr);
-  // A fresh capture every run: on success the depth-0 arm filled it in; on
-  // the paths that never decompose (trivial ∆, single-row or empty table,
-  // errors) it stays non-spliceable and delta callers fall back.
-  capture->spliceable = false;
-  capture->top_kind = SimplificationKind::kStuck;
-  capture->blocks.clear();
-  return RunRows(fds, view, exec, capture);
-}
-
-StatusOr<std::vector<int>> OptSRepairRowsDelta(
+/// The delta-splice path of the canonical OptSRepairRows (see the header
+/// comment there for the contract).
+StatusOr<std::vector<int>> DeltaRows(
     const FdSet& fds, const TableView& view, const OptSRepairExec& exec,
     const SRepairPlanCache& base, const std::vector<TupleId>& updated_ids,
     SRepairPlanCache* capture, SRepairSpliceStats* stats) {
@@ -687,6 +662,59 @@ StatusOr<std::vector<int>> OptSRepairRowsDelta(
 
   std::sort(kept.begin(), kept.end());
   return kept;
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairRowsOptions& options,
+                                          SRepairPlanCache* capture) {
+  if (options.delta_base != nullptr) {
+    static const std::vector<TupleId> kNoUpdatedIds;
+    const std::vector<TupleId>& updated = options.delta_updated_ids != nullptr
+                                              ? *options.delta_updated_ids
+                                              : kNoUpdatedIds;
+    return DeltaRows(fds, view, options.exec, *options.delta_base, updated,
+                     capture, options.splice_stats);
+  }
+  if (capture == nullptr) return RunRows(fds, view, options.exec, nullptr);
+  // A fresh capture every run: on success the depth-0 arm filled it in; on
+  // the paths that never decompose (trivial ∆, single-row or empty table,
+  // errors) it stays non-spliceable and delta callers fall back.
+  capture->spliceable = false;
+  capture->top_kind = SimplificationKind::kStuck;
+  capture->blocks.clear();
+  return RunRows(fds, view, options.exec, capture);
+}
+
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairExec& exec) {
+  OptSRepairRowsOptions options;
+  options.exec = exec;
+  return OptSRepairRows(fds, view, options);
+}
+
+StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
+                                          const TableView& view,
+                                          const OptSRepairExec& exec,
+                                          SRepairPlanCache* capture) {
+  OptSRepairRowsOptions options;
+  options.exec = exec;
+  return OptSRepairRows(fds, view, options, capture);
+}
+
+StatusOr<std::vector<int>> OptSRepairRowsDelta(
+    const FdSet& fds, const TableView& view, const OptSRepairExec& exec,
+    const SRepairPlanCache& base, const std::vector<TupleId>& updated_ids,
+    SRepairPlanCache* capture, SRepairSpliceStats* stats) {
+  OptSRepairRowsOptions options;
+  options.exec = exec;
+  options.delta_base = &base;
+  options.delta_updated_ids = &updated_ids;
+  options.splice_stats = stats;
+  return OptSRepairRows(fds, view, options, capture);
 }
 
 StatusOr<Table> OptSRepair(const FdSet& fds, const Table& table,

@@ -136,39 +136,63 @@ struct SRepairSpliceStats {
   int blocks_dirty = 0;
 };
 
+/// Everything one OptSRepairRows run needs beyond (∆, view): execution
+/// limits plus the optional delta-splice inputs. One struct, one entry
+/// point — cold runs leave the delta fields null, delta runs point them at
+/// the captured plan. (The capture *sink* stays a separate parameter: it is
+/// an output, and keeping it out of the options keeps `options` const.)
+struct OptSRepairRowsOptions {
+  OptSRepairExec exec;
+  /// Non-null: splice this plan — captured on the PRE-mutation table —
+  /// instead of a cold run, re-running the recursion only on blocks
+  /// dirtied by the mutation.
+  const SRepairPlanCache* delta_base = nullptr;
+  /// Delta runs only: tuple ids whose content changed in place
+  /// (inserted/deleted rows are detected from the membership sequences
+  /// themselves). Null means "no in-place edits".
+  const std::vector<TupleId>* delta_updated_ids = nullptr;
+  /// Delta runs only (optional): receives clean/dirty block counts.
+  SRepairSpliceStats* splice_stats = nullptr;
+};
+
 /// Runs Algorithm 1 on a view; returns the dense row positions (into the
 /// underlying table) of an optimal S-repair, in increasing order.
-/// Fails with kFailedPrecondition iff OSRSucceeds(∆) is false, and with
+///
+/// With `capture` non-null, additionally fills it with the run's top-level
+/// plan (capture->spliceable tells whether it can seed a delta run). The
+/// returned rows are bit-identical to a non-capturing run's — the only
+/// behavioral difference is that capture runs take the general block path
+/// at depth 0 where the plain run may take an all-singleton shortcut (the
+/// shortcuts are themselves bit-identical to that path by design).
+///
+/// With options.delta_base non-null, repairs `view` (the MUTATED table) by
+/// splicing the captured plan; bit-identical to a cold run on `view` for
+/// every thread count, and `capture` then receives the mutated table's
+/// refreshed plan (so delta runs chain).
+///
+/// Fails with kFailedPrecondition iff OSRSucceeds(∆) is false, or — delta
+/// runs only — when the base plan is not spliceable or the table is too
+/// small to splice (callers fall back to a full re-plan); fails with
 /// kDeadlineExceeded when exec.deadline expires mid-run.
+StatusOr<std::vector<int>> OptSRepairRows(
+    const FdSet& fds, const TableView& view,
+    const OptSRepairRowsOptions& options = {},
+    SRepairPlanCache* capture = nullptr);
+
+/// DEPRECATED shim — calls the canonical OptSRepairRows with {exec}.
 StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
                                           const TableView& view,
                                           const OptSRepairExec& exec);
 
-/// Sequential convenience overload (exec = {}).
-StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
-                                          const TableView& view);
-
-/// Capturing overload: additionally fills *capture with the run's top-level
-/// plan (capture->spliceable tells whether it can seed a delta run). The
-/// returned rows are bit-identical to the non-capturing overload's — the
-/// only behavioral difference is that capture runs take the general block
-/// path at depth 0 where the plain run may take an all-singleton shortcut
-/// (the shortcuts are themselves bit-identical to that path by design).
+/// DEPRECATED shim — calls the canonical OptSRepairRows with {exec} and
+/// the capture sink.
 StatusOr<std::vector<int>> OptSRepairRows(const FdSet& fds,
                                           const TableView& view,
                                           const OptSRepairExec& exec,
                                           SRepairPlanCache* capture);
 
-/// Delta run: repairs `view` (the MUTATED table) by splicing `base` — the
-/// plan captured on the pre-mutation table — re-running the recursion only
-/// on blocks dirtied by the mutation. `updated_ids` lists tuple ids whose
-/// content changed in place (inserted/deleted rows are detected from the
-/// membership sequences themselves). Bit-identical to a cold
-/// OptSRepairRows on `view` for every thread count. Optionally refreshes
-/// *capture with the mutated table's plan (so delta runs chain) and
-/// reports clean/dirty counts in *stats (either may be null).
-/// Fails with kFailedPrecondition when `base` is not spliceable or the
-/// table is too small to splice — callers fall back to a full re-plan.
+/// DEPRECATED shim — calls the canonical OptSRepairRows with the delta
+/// fields of OptSRepairRowsOptions populated.
 StatusOr<std::vector<int>> OptSRepairRowsDelta(
     const FdSet& fds, const TableView& view, const OptSRepairExec& exec,
     const SRepairPlanCache& base, const std::vector<TupleId>& updated_ids,

@@ -3,14 +3,28 @@
 #include <mutex>
 #include <utility>
 
+#include "catalog/fd.h"
 #include "graph/vc_lp.h"
 #include "graph/vertex_cover.h"
+#include "srepair/soft_cover.h"
 #include "srepair/srepair_vc_approx.h"
 
 namespace fdrepair {
 namespace {
 
 constexpr double kEps = 1e-12;
+
+SolverCover FromSoftResult(SoftCoverResult result) {
+  SolverCover out;
+  out.cover = std::move(result.cover);
+  out.weight = result.node_weight;
+  out.penalty = result.penalty;
+  out.lower_bound = result.lower_bound;
+  out.optimal = result.optimal;
+  out.ratio_bound = result.ratio_bound;
+  out.nodes = result.nodes;
+  return out;
+}
 
 /// "local-ratio": Bar-Yehuda–Even on the explicit graph, or — preferred by
 /// the planner — the fused table-level route that never materializes the
@@ -32,6 +46,15 @@ class LocalRatioBackend : public SolverBackend {
     out.optimal = out.weight <= out.lower_bound + kEps;
     out.ratio_bound = out.optimal ? 1.0 : 2.0;
     return out;
+  }
+
+  bool soft_capable() const override { return true; }
+
+  StatusOr<SolverCover> SolveSoftCover(
+      const NodeWeightedGraph& graph, const std::vector<double>& penalties,
+      const SolverExec& exec) const override {
+    (void)exec;  // one pass; nothing to interrupt
+    return FromSoftResult(SoftCoverLocalRatio(graph, penalties));
   }
 
   bool has_fused_rows() const override { return true; }
@@ -76,6 +99,15 @@ class BnbBackend : public SolverBackend {
     }
     return out;
   }
+
+  bool soft_capable() const override { return true; }
+
+  StatusOr<SolverCover> SolveSoftCover(
+      const NodeWeightedGraph& graph, const std::vector<double>& penalties,
+      const SolverExec& exec) const override {
+    return FromSoftResult(SoftCoverBranchAndBound(graph, penalties, exec,
+                                                  /*use_lp_bound=*/false));
+  }
 };
 
 struct Registry {
@@ -97,6 +129,20 @@ Registry& GetRegistry() {
 }
 
 }  // namespace
+
+StatusOr<SolverCover> SolverBackend::SolveSoftCover(
+    const NodeWeightedGraph& graph, const std::vector<double>& penalties,
+    const SolverExec& exec) const {
+  for (double penalty : penalties) {
+    if (penalty != kHardFdWeight) {
+      return Status::InvalidArgument(
+          std::string("solver backend '") + name() +
+          "' cannot solve soft-cover instances (finite edge penalties)");
+    }
+  }
+  // All penalties infinite: the instance IS plain vertex cover.
+  return SolveCover(graph, exec);
+}
 
 StatusOr<std::vector<int>> SolverBackend::SolveRowsFused(
     const FdSet& fds, const TableView& view, const SolverExec& exec,

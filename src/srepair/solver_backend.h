@@ -75,16 +75,23 @@ struct SolverExec {
 
 /// A vertex cover with provenance.
 struct SolverCover {
-  /// Node ids forming a vertex cover of the input graph.
+  /// Node ids forming a vertex cover of the input graph. For soft-cover
+  /// instances (SolveSoftCover): the deleted nodes; edges they leave
+  /// untouched are uncovered and pay their penalty.
   std::vector<int> cover;
   /// Σ weights of `cover`.
   double weight = 0;
-  /// Proved lower bound on the minimum cover weight (dual packing or LP
-  /// value; equals `weight` when optimal).
+  /// Soft-cover instances only: Σ penalties of the uncovered edges. The
+  /// objective value is weight + penalty. Always 0 for plain SolveCover.
+  double penalty = 0;
+  /// Proved lower bound on the minimum cover weight — for soft instances,
+  /// on the minimum of weight + penalty (dual packing or LP value; equals
+  /// the objective when optimal).
   double lower_bound = 0;
-  /// True iff `cover` is provably a minimum-weight vertex cover.
+  /// True iff `cover` is provably optimal.
   bool optimal = false;
-  /// The backend's a-priori guarantee: weight <= ratio_bound · optimum.
+  /// The backend's a-priori guarantee on the objective:
+  /// objective <= ratio_bound · optimum.
   double ratio_bound = 2.0;
   /// Branch nodes expanded (search backends; 0 otherwise).
   long nodes = 0;
@@ -104,6 +111,22 @@ class SolverBackend {
   /// fails on well-formed graphs: limit expiry degrades to the incumbent.
   virtual StatusOr<SolverCover> SolveCover(const NodeWeightedGraph& graph,
                                            const SolverExec& exec) const = 0;
+
+  /// True when the backend can solve *soft*-cover instances — conflict
+  /// graphs with finite per-edge penalties, produced by soft (weighted)
+  /// FDs (srepair/soft_repair.h). Backends without soft support still
+  /// serve all-hard instances through the default SolveSoftCover below.
+  virtual bool soft_capable() const { return false; }
+
+  /// Solves the generalized cover instance: delete nodes and/or leave
+  /// soft edges uncovered, paying their penalty; hard edges (penalty =
+  /// kHardFdWeight) must be covered. `penalties` aligns with
+  /// graph.edges(). The default forwards all-hard instances to SolveCover
+  /// and fails with kInvalidArgument when a finite penalty is present and
+  /// the backend is not soft_capable().
+  virtual StatusOr<SolverCover> SolveSoftCover(
+      const NodeWeightedGraph& graph, const std::vector<double>& penalties,
+      const SolverExec& exec) const;
 
   /// True when the backend can repair a table without materializing the
   /// conflict graph (the fused local-ratio route). Default: false.

@@ -19,6 +19,7 @@
 
 #include "graph/vc_lp.h"
 #include "graph/vertex_cover.h"
+#include "srepair/soft_cover.h"
 #include "srepair/solver_backend.h"
 
 namespace fdrepair {
@@ -304,6 +305,28 @@ class IlpBnbBackend : public SolverBackend {
                             : 2.0;
     }
     FDR_CHECK(IsVertexCover(graph, out.cover));
+    return out;
+  }
+
+  bool soft_capable() const override { return true; }
+
+  /// Soft instances take the shared keep/delete branch and bound with the
+  /// hard-subgraph LP folded into the root bound (NT kernelization does
+  /// not transfer: persistency arguments break once an edge may be paid
+  /// for instead of covered).
+  StatusOr<SolverCover> SolveSoftCover(
+      const NodeWeightedGraph& graph, const std::vector<double>& penalties,
+      const SolverExec& exec) const override {
+    SoftCoverResult result = SoftCoverBranchAndBound(graph, penalties, exec,
+                                                     /*use_lp_bound=*/true);
+    SolverCover out;
+    out.cover = std::move(result.cover);
+    out.weight = result.node_weight;
+    out.penalty = result.penalty;
+    out.lower_bound = result.lower_bound;
+    out.optimal = result.optimal;
+    out.ratio_bound = result.ratio_bound;
+    out.nodes = result.nodes;
     return out;
   }
 };

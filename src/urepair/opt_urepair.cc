@@ -75,12 +75,27 @@ OptURepairResult AssembleResult(const Table& table, std::vector<PosEdit> edits,
   return result;
 }
 
+/// The delta-splice path of the canonical OptURepairCells (defined below;
+/// see the header comment there for the contract).
+StatusOr<OptURepairResult> DeltaCells(
+    const FdSet& fds, const Table& table, const OptURepairOptions& options,
+    const URepairPlanCache& base, const std::vector<TupleId>& updated_ids,
+    URepairPlanCache* capture, SRepairSpliceStats* stats);
+
 }  // namespace
 
 StatusOr<OptURepairResult> OptURepairCells(const FdSet& fds,
                                            const Table& table,
                                            const OptURepairOptions& options,
                                            URepairPlanCache* capture) {
+  if (options.delta_base != nullptr) {
+    static const std::vector<TupleId> kNoUpdatedIds;
+    const std::vector<TupleId>& updated = options.delta_updated_ids != nullptr
+                                              ? *options.delta_updated_ids
+                                              : kNoUpdatedIds;
+    return DeltaCells(fds, table, options, *options.delta_base, updated,
+                      capture, options.splice_stats);
+  }
   FDR_ASSIGN_OR_RETURN(URepairPlan plan, PlanURepair(fds));
   Table update = table.Clone();
 
@@ -147,10 +162,11 @@ StatusOr<OptURepairResult> OptURepairCells(const FdSet& fds,
         FdSet delta = component.fds.WithoutTrivial();
         auto splan = capture != nullptr ? std::make_shared<SRepairPlanCache>()
                                         : nullptr;
+        OptSRepairRowsOptions row_options;
+        row_options.exec = options.exec;
         FDR_ASSIGN_OR_RETURN(
             std::vector<int> kept_rows,
-            OptSRepairRows(delta, TableView(table), options.exec,
-                           splan.get()));
+            OptSRepairRows(delta, TableView(table), row_options, splan.get()));
         merge(KeyCycleAlignRows(cache.cycle->first, cache.cycle->second, table,
                                 kept_rows),
               attrs);
@@ -215,7 +231,9 @@ StatusOr<OptURepairResult> OptURepairCells(const FdSet& fds,
   return result;
 }
 
-StatusOr<OptURepairResult> OptURepairCellsDelta(
+namespace {
+
+StatusOr<OptURepairResult> DeltaCells(
     const FdSet& fds, const Table& table, const OptURepairOptions& options,
     const URepairPlanCache& base, const std::vector<TupleId>& updated_ids,
     URepairPlanCache* capture, SRepairSpliceStats* stats) {
@@ -286,10 +304,14 @@ StatusOr<OptURepairResult> OptURepairCellsDelta(
         FdSet delta = component.fds.WithoutTrivial();
         auto fresh = std::make_shared<SRepairPlanCache>();
         SRepairSpliceStats cstats;
+        OptSRepairRowsOptions row_options;
+        row_options.exec = options.exec;
+        row_options.delta_base = bc.splan.get();
+        row_options.delta_updated_ids = &updated_ids;
+        row_options.splice_stats = &cstats;
         FDR_ASSIGN_OR_RETURN(
             std::vector<int> kept_rows,
-            OptSRepairRowsDelta(delta, TableView(table), options.exec,
-                                *bc.splan, updated_ids, fresh.get(), &cstats));
+            OptSRepairRows(delta, TableView(table), row_options, fresh.get()));
         (void)kept_rows;  // The edits derive from the refreshed blocks.
         total.blocks_total += cstats.blocks_total;
         total.blocks_clean += cstats.blocks_clean;
@@ -331,10 +353,14 @@ StatusOr<OptURepairResult> OptURepairCellsDelta(
         FdSet delta = component.fds.WithoutTrivial();
         auto fresh = std::make_shared<SRepairPlanCache>();
         SRepairSpliceStats cstats;
+        OptSRepairRowsOptions row_options;
+        row_options.exec = options.exec;
+        row_options.delta_base = bc.splan.get();
+        row_options.delta_updated_ids = &updated_ids;
+        row_options.splice_stats = &cstats;
         FDR_ASSIGN_OR_RETURN(
             std::vector<int> kept_rows,
-            OptSRepairRowsDelta(delta, TableView(table), options.exec,
-                                *bc.splan, updated_ids, fresh.get(), &cstats));
+            OptSRepairRows(delta, TableView(table), row_options, fresh.get()));
         total.blocks_total += cstats.blocks_total;
         total.blocks_clean += cstats.blocks_clean;
         total.blocks_dirty += cstats.blocks_dirty;
@@ -379,6 +405,19 @@ StatusOr<OptURepairResult> OptURepairCellsDelta(
   // property-tested in tests/delta_test.cc.
   return AssembleResult(table, std::move(edits), all_exact, achieved_bound,
                         std::move(plan));
+}
+
+}  // namespace
+
+StatusOr<OptURepairResult> OptURepairCellsDelta(
+    const FdSet& fds, const Table& table, const OptURepairOptions& options,
+    const URepairPlanCache& base, const std::vector<TupleId>& updated_ids,
+    URepairPlanCache* capture, SRepairSpliceStats* stats) {
+  OptURepairOptions delta_options = options;
+  delta_options.delta_base = &base;
+  delta_options.delta_updated_ids = &updated_ids;
+  delta_options.splice_stats = stats;
+  return OptURepairCells(fds, table, delta_options, capture);
 }
 
 }  // namespace fdrepair

@@ -68,13 +68,27 @@ struct URepairCellEdit {
   std::string text;
 };
 
-/// How (and how long) the U-repair pipeline may execute.
+struct URepairPlanCache;
+
+/// Everything one OptURepairCells run needs beyond (∆, T): planner knobs,
+/// execution limits, and the optional delta-splice inputs — the
+/// update-mode mirror of OptSRepairRowsOptions.
 struct OptURepairOptions {
   URepairOptions planner;
   /// Inner S-repairs (common-lhs, key-cycle) fan their blocks out under
   /// this exec; every freshening/alignment/diff pass is sequential, so
   /// results are bit-identical for every thread count.
   OptSRepairExec exec;
+  /// Non-null: splice this plan — captured on the PRE-mutation table —
+  /// instead of a cold run (see the file comment for what each component
+  /// route reuses).
+  const URepairPlanCache* delta_base = nullptr;
+  /// Delta runs only: tuple ids whose content changed in place. Null means
+  /// "no in-place edits".
+  const std::vector<TupleId>* delta_updated_ids = nullptr;
+  /// Delta runs only (optional): accumulates the inner splices'
+  /// clean/dirty block counts.
+  SRepairSpliceStats* splice_stats = nullptr;
 };
 
 /// The edit-list form of a U-repair.
@@ -131,19 +145,20 @@ struct URepairPlanCache {
 /// Plans and executes an update repair, returning the canonical edit
 /// list. With `capture` non-null additionally records the run's plan
 /// (capture->spliceable tells whether it can seed a delta run).
+///
+/// With options.delta_base non-null, repairs `table` (the MUTATED table)
+/// by splicing the captured plan; bit-identical to a cold run on `table`
+/// for every thread count, and `capture` then receives the refreshed plan
+/// (so delta runs chain). Fails with kFailedPrecondition when the base
+/// plan is not spliceable (or an inner S-plan refuses to splice) —
+/// callers fall back to a full re-plan.
 StatusOr<OptURepairResult> OptURepairCells(const FdSet& fds,
                                            const Table& table,
-                                           const OptURepairOptions& options,
-                                           URepairPlanCache* capture);
+                                           const OptURepairOptions& options = {},
+                                           URepairPlanCache* capture = nullptr);
 
-/// Delta run: repairs `table` (the MUTATED table) by splicing `base` —
-/// the plan captured on the pre-mutation table. `updated_ids` lists tuple
-/// ids whose content changed in place. Bit-identical to a cold
-/// OptURepairCells on `table` for every thread count. Optionally
-/// refreshes *capture (so delta runs chain) and accumulates the inner
-/// splices' clean/dirty block counts into *stats (either may be null).
-/// Fails with kFailedPrecondition when `base` is not spliceable (or an
-/// inner S-plan refuses to splice) — callers fall back to a full re-plan.
+/// DEPRECATED shim — calls the canonical OptURepairCells with the delta
+/// fields of OptURepairOptions populated.
 StatusOr<OptURepairResult> OptURepairCellsDelta(
     const FdSet& fds, const Table& table, const OptURepairOptions& options,
     const URepairPlanCache& base, const std::vector<TupleId>& updated_ids,

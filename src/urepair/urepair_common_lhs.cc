@@ -47,8 +47,11 @@ StatusOr<Table> CommonLhsOptimalURepair(const FdSet& fds, const Table& table,
   }
   // Optimal S-repair (fails exactly when the problem is APX-complete), then
   // the cost-preserving conversion: mlc = 1 because of the common lhs.
-  FDR_ASSIGN_OR_RETURN(std::vector<int> kept_rows,
-                       OptSRepairRows(delta, TableView(table), exec, capture));
+  OptSRepairRowsOptions row_options;
+  row_options.exec = exec;
+  FDR_ASSIGN_OR_RETURN(
+      std::vector<int> kept_rows,
+      OptSRepairRows(delta, TableView(table), row_options, capture));
   return SubsetToUpdate(delta, table, kept_rows);
 }
 

@@ -81,8 +81,10 @@ StatusOr<Table> KeyCycleOptimalURepair(const FdSet& fds, const Table& table,
   const auto [a, b] = *cycle;
   FdSet delta = fds.WithoutTrivial();
   // {A → B, B → A} passes OSRSucceeds via lhs marriage, so this cannot fail.
+  OptSRepairRowsOptions row_options;
+  row_options.exec = exec;
   FDR_ASSIGN_OR_RETURN(std::vector<int> kept_rows,
-                       OptSRepairRows(delta, TableView(table), exec));
+                       OptSRepairRows(delta, TableView(table), row_options));
   return KeyCycleAlignRows(a, b, table, kept_rows);
 }
 

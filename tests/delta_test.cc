@@ -290,13 +290,12 @@ TEST(PlanCaptureTest, CaptureOverloadIsBitIdenticalAndCoversTheTable) {
   ParsedFdSet parsed = OfficeFds();
   Table table = ScalingFamilyTable(parsed, 240, 5);
   const TableView view(table);
-  OptSRepairExec exec;
 
-  auto plain = OptSRepairRows(parsed.fds, view, exec);
+  auto plain = OptSRepairRows(parsed.fds, view);
   ASSERT_TRUE(plain.ok()) << plain.status();
 
   SRepairPlanCache plan;
-  auto captured = OptSRepairRows(parsed.fds, view, exec, &plan);
+  auto captured = OptSRepairRows(parsed.fds, view, OptSRepairRowsOptions(), &plan);
   ASSERT_TRUE(captured.ok()) << captured.status();
   EXPECT_EQ(*plain, *captured);
 
@@ -320,11 +319,9 @@ TEST(PlanCaptureTest, CaptureOverloadIsBitIdenticalAndCoversTheTable) {
 TEST(PlanCaptureTest, SpliceIsBitIdenticalAcrossChainedMutations) {
   ParsedFdSet parsed = OfficeFds();
   Table base = ScalingFamilyTable(parsed, 400, 9);
-  OptSRepairExec exec;
 
   SRepairPlanCache plan;
-  ASSERT_TRUE(
-      OptSRepairRows(parsed.fds, TableView(base), exec, &plan).ok());
+  ASSERT_TRUE(OptSRepairRows(parsed.fds, TableView(base), OptSRepairRowsOptions(), &plan).ok());
   ASSERT_TRUE(plan.spliceable);
 
   Rng rng(77);
@@ -338,10 +335,13 @@ TEST(PlanCaptureTest, SpliceIsBitIdenticalAcrossChainedMutations) {
     // Refresh the plan in place (capture aliases the base — the documented
     // chained-delta calling convention).
     SRepairSpliceStats stats;
-    auto spliced = OptSRepairRowsDelta(parsed.fds, view, exec, plan,
-                                       delta.updated, &plan, &stats);
+    OptSRepairRowsOptions splice_options;
+    splice_options.delta_base = &plan;
+    splice_options.delta_updated_ids = &delta.updated;
+    splice_options.splice_stats = &stats;
+    auto spliced = OptSRepairRows(parsed.fds, view, splice_options, &plan);
     ASSERT_TRUE(spliced.ok()) << spliced.status();
-    auto cold = OptSRepairRows(parsed.fds, view, exec);
+    auto cold = OptSRepairRows(parsed.fds, view);
     ASSERT_TRUE(cold.ok()) << cold.status();
     EXPECT_EQ(*spliced, *cold) << "mutation step " << step;
 
@@ -371,11 +371,9 @@ TEST(PlanCaptureTest, ConsensusAndMarriageTopKindsSplice) {
     options.domain_size = 3;
     options.heavy_fraction = 0.3;
     Table base = RandomTable(c.parsed.schema, options, &rng);
-    OptSRepairExec exec;
 
     SRepairPlanCache plan;
-    ASSERT_TRUE(
-        OptSRepairRows(c.parsed.fds, TableView(base), exec, &plan).ok());
+    ASSERT_TRUE(OptSRepairRows(c.parsed.fds, TableView(base), OptSRepairRowsOptions(), &plan).ok());
     ASSERT_TRUE(plan.spliceable);
     EXPECT_EQ(plan.top_kind, c.kind);
 
@@ -386,10 +384,13 @@ TEST(PlanCaptureTest, ConsensusAndMarriageTopKindsSplice) {
     const TableView view(builder.table());
 
     SRepairSpliceStats stats;
-    auto spliced = OptSRepairRowsDelta(c.parsed.fds, view, exec, plan,
-                                       delta.updated, nullptr, &stats);
+    OptSRepairRowsOptions splice_options;
+    splice_options.delta_base = &plan;
+    splice_options.delta_updated_ids = &delta.updated;
+    splice_options.splice_stats = &stats;
+    auto spliced = OptSRepairRows(c.parsed.fds, view, splice_options);
     ASSERT_TRUE(spliced.ok()) << spliced.status();
-    auto cold = OptSRepairRows(c.parsed.fds, view, exec);
+    auto cold = OptSRepairRows(c.parsed.fds, view);
     ASSERT_TRUE(cold.ok()) << cold.status();
     EXPECT_EQ(*spliced, *cold);
     EXPECT_GT(stats.blocks_total, 0);
@@ -399,22 +400,24 @@ TEST(PlanCaptureTest, ConsensusAndMarriageTopKindsSplice) {
 TEST(PlanCaptureTest, NonSpliceableBasesFailPrecondition) {
   ParsedFdSet parsed = OfficeFds();
   Table table = ScalingFamilyTable(parsed, 64, 3);
-  OptSRepairExec exec;
 
   SRepairPlanCache never_captured;  // spliceable defaults to false
-  EXPECT_EQ(OptSRepairRowsDelta(parsed.fds, TableView(table), exec,
-                                never_captured, {}, nullptr, nullptr)
-                .status()
-                .code(),
-            StatusCode::kFailedPrecondition);
+  OptSRepairRowsOptions never_options;
+  never_options.delta_base = &never_captured;
+  EXPECT_EQ(
+      OptSRepairRows(parsed.fds, TableView(table), never_options)
+          .status()
+          .code(),
+      StatusCode::kFailedPrecondition);
 
   // A single-tuple table cannot decompose into blocks either.
   Table tiny(parsed.schema);
   tiny.AddTuple({"f", "r", "fl", "c"}, 1.0);
   SRepairPlanCache plan;
-  ASSERT_TRUE(OptSRepairRows(parsed.fds, TableView(table), exec, &plan).ok());
-  EXPECT_EQ(OptSRepairRowsDelta(parsed.fds, TableView(tiny), exec, plan, {},
-                                nullptr, nullptr)
+  ASSERT_TRUE(OptSRepairRows(parsed.fds, TableView(table), OptSRepairRowsOptions(), &plan).ok());
+  OptSRepairRowsOptions tiny_options;
+  tiny_options.delta_base = &plan;
+  EXPECT_EQ(OptSRepairRows(parsed.fds, TableView(tiny), tiny_options)
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);

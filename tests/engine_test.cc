@@ -117,10 +117,10 @@ TEST(ParallelOptSRepairTest, BitIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(sequential.ok()) << label << ": " << sequential.status();
     for (int threads : {2, 8}) {
       ThreadPool pool(threads);
-      OptSRepairExec exec;
-      exec.pool = &pool;
-      exec.parallel_cutoff = 1;  // fan out at every level, even tiny blocks
-      auto parallel = OptSRepairRows(parsed.fds, view, exec);
+      OptSRepairRowsOptions options;
+      options.exec.pool = &pool;
+      options.exec.parallel_cutoff = 1;  // fan out at every level
+      auto parallel = OptSRepairRows(parsed.fds, view, options);
       ASSERT_TRUE(parallel.ok()) << label << ": " << parallel.status();
       EXPECT_EQ(*parallel, *sequential) << label << " threads=" << threads;
     }
@@ -130,9 +130,10 @@ TEST(ParallelOptSRepairTest, BitIdenticalAcrossThreadCounts) {
 TEST(ParallelOptSRepairTest, DeadlineExpiresMidRecursion) {
   ParsedFdSet parsed = OfficeFds();
   Table table = ScalingFamilyTable(parsed, 1000, 33);
-  OptSRepairExec exec;
-  exec.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
-  auto result = OptSRepairRows(parsed.fds, TableView(table), exec);
+  OptSRepairRowsOptions options;
+  options.exec.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto result = OptSRepairRows(parsed.fds, TableView(table), options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }

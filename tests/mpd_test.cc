@@ -116,6 +116,111 @@ TEST_P(MpdPropertyTest, AgreesWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MpdPropertyTest,
                          ::testing::Values(1111, 2222, 3333));
 
+// Noisy-FD extension: soft MPD agrees with exhaustive search, and with all
+// FDs hard it degenerates to the Theorem 3.10 reduction exactly.
+class SoftMpdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoftMpdPropertyTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    if (named.parsed.schema.arity() > 5) continue;
+    // Soften every other FD; keep the rest hard.
+    std::vector<double> weights;
+    for (int i = 0; i < named.parsed.fds.size(); ++i) {
+      weights.push_back(i % 2 == 0 ? 0.6 + 0.3 * i : kHardFdWeight);
+    }
+    auto weighted = named.parsed.fds.WithWeights(weights);
+    ASSERT_TRUE(weighted.ok()) << named.name;
+    for (int trial = 0; trial < 2; ++trial) {
+      Table table(named.parsed.schema);
+      int n = 4 + static_cast<int>(rng.UniformUint64(4));
+      for (int i = 0; i < n; ++i) {
+        std::vector<std::string> values;
+        for (int a = 0; a < named.parsed.schema.arity(); ++a) {
+          values.push_back("v" + std::to_string(rng.UniformUint64(2)));
+        }
+        double p;
+        switch (rng.UniformUint64(4)) {
+          case 0:
+            p = 1.0;
+            break;
+          case 1:
+            p = 0.3;
+            break;
+          default:
+            p = rng.UniformDouble(0.55, 0.95);
+        }
+        table.AddTuple(values, p);
+      }
+      auto fast = MostProbableDatabaseSoft(*weighted, table);
+      ASSERT_TRUE(fast.ok()) << named.name << ": " << fast.status();
+      auto slow = MostProbableDatabaseSoftBruteForce(*weighted, table);
+      ASSERT_TRUE(slow.ok()) << named.name;
+      if (!fast->feasible) {
+        EXPECT_TRUE(std::isinf(slow->log_probability)) << named.name;
+        continue;
+      }
+      EXPECT_TRUE(Satisfies(fast->database, weighted->HardPart()))
+          << named.name;
+      EXPECT_NEAR(fast->log_probability, slow->log_probability, 1e-9)
+          << named.name << " trial " << trial << "\n" << table.ToString();
+    }
+  }
+}
+
+TEST_P(SoftMpdPropertyTest, AllHardSoftMpdMatchesHardMpd) {
+  Rng rng(GetParam() + 1);
+  for (const NamedFdSet& named : AllNamedFdSets()) {
+    if (named.parsed.schema.arity() > 5) continue;
+    Table table(named.parsed.schema);
+    for (int i = 0; i < 6; ++i) {
+      std::vector<std::string> values;
+      for (int a = 0; a < named.parsed.schema.arity(); ++a) {
+        values.push_back("v" + std::to_string(rng.UniformUint64(2)));
+      }
+      table.AddTuple(values, rng.UniformDouble(0.55, 0.95));
+    }
+    auto hard = MostProbableDatabase(named.parsed.fds, table);
+    auto soft = MostProbableDatabaseSoft(named.parsed.fds, table);
+    ASSERT_TRUE(hard.ok() && soft.ok()) << named.name;
+    EXPECT_EQ(soft->feasible, hard->feasible) << named.name;
+    EXPECT_NEAR(soft->log_probability, hard->log_probability, 1e-9)
+        << named.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftMpdPropertyTest,
+                         ::testing::Values(7171, 8282));
+
+TEST(SoftMpdTest, PenalizedLogProbabilityMatchesFormula) {
+  ParsedFdSet parsed = ParseFdSetInferSchemaOrDie("A -> B @0.5");
+  Table table(parsed.schema);
+  table.AddTuple({"a", "x"}, 0.8);
+  table.AddTuple({"a", "y"}, 0.6);  // violates A -> B with row 0 when kept
+  EXPECT_NEAR(SoftSubsetLogProbability(parsed.fds, table, {0, 1}),
+              std::log(0.8) + std::log(0.6) - 0.5, 1e-12);
+  EXPECT_NEAR(SoftSubsetLogProbability(parsed.fds, table, {0}),
+              std::log(0.8) + std::log(0.4), 1e-12);
+}
+
+TEST(SoftMpdTest, CertainTuplesMaySoftConflictButNeverHardConflict) {
+  ParsedFdSet soft_parsed = ParseFdSetInferSchemaOrDie("A -> B @0.25");
+  Table table(soft_parsed.schema);
+  table.AddTuple({"a", "x"}, 1.0);
+  table.AddTuple({"a", "y"}, 1.0);
+  // A soft conflict between certain tuples: both stay, penalty paid.
+  auto soft = MostProbableDatabaseSoft(soft_parsed.fds, table);
+  ASSERT_TRUE(soft.ok()) << soft.status();
+  EXPECT_TRUE(soft->feasible);
+  EXPECT_EQ(soft->database.num_tuples(), 2);
+  EXPECT_NEAR(soft->log_probability, -0.25, 1e-12);
+  // The same conflict under a hard FD is infeasible.
+  ParsedFdSet hard_parsed = ParseFdSetInferSchemaOrDie("A -> B");
+  auto hard = MostProbableDatabaseSoft(hard_parsed.fds, table);
+  ASSERT_TRUE(hard.ok());
+  EXPECT_FALSE(hard->feasible);
+}
+
 // Comment 3.11: ∆A↔B→C is on the tractable side of our dichotomy, so MPD
 // for it runs in polynomial time (exact OptSRepair route, no fallback).
 TEST(MpdTest, Comment311KeyCycleTractable) {

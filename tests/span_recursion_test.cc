@@ -139,10 +139,10 @@ StatusOr<std::vector<int>> SpanRows(const FdSet& fds, const TableView& view,
                                     int threads) {
   if (threads <= 1) return OptSRepairRows(fds, view);
   ThreadPool pool(threads);
-  OptSRepairExec exec;
-  exec.pool = &pool;
-  exec.parallel_cutoff = 1;  // fan out at every level, even tiny blocks
-  return OptSRepairRows(fds, view, exec);
+  OptSRepairRowsOptions options;
+  options.exec.pool = &pool;
+  options.exec.parallel_cutoff = 1;  // fan out at every level
+  return OptSRepairRows(fds, view, options);
 }
 
 // Every tractable named set, random tables: the span core must match the
